@@ -1,0 +1,46 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Default fidelity is scaled for CI speed (the table *shape* is already
+// clear); LSM_PAPER=1 switches to the paper's 10 x 100,000 s methodology.
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/replicate.hpp"
+#include "sim/simulator.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace lsm::bench {
+
+struct Fidelity {
+  std::size_t replications;
+  double horizon;
+  double warmup;
+  const char* label;
+};
+
+inline Fidelity fidelity() {
+  if (util::paper_fidelity()) {
+    return {10, 100000.0, 10000.0, "paper (10 x 100,000s, 10,000s warmup)"};
+  }
+  return {3, 20000.0, 2000.0, "quick (3 x 20,000s, 2,000s warmup)"};
+}
+
+/// Mean sojourn from a replicated simulation at the bench's fidelity.
+inline double sim_mean_sojourn(sim::SimConfig cfg, const Fidelity& f,
+                               par::ThreadPool& pool, std::uint64_t seed = 42) {
+  cfg.horizon = f.horizon;
+  cfg.warmup = f.warmup;
+  cfg.seed = seed;
+  return sim::replicate(cfg, f.replications, pool).sojourn.mean;
+}
+
+inline void print_header(const char* title, const Fidelity& f) {
+  std::cout << "=== " << title << " ===\n"
+            << "fidelity: " << f.label << "\n\n";
+}
+
+}  // namespace lsm::bench

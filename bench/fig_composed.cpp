@@ -1,0 +1,59 @@
+// Figure F8 (beyond the paper's tables; Section 3's closing remark that
+// "the extensions can be combined as desired"): cumulative ablation of the
+// composed policy at high load -- start from plain threshold stealing and
+// add victim choices, multi-steal, preemptive triggering, and retries one
+// at a time. Model predictions alongside n = 128 simulations.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/composed_ws.hpp"
+#include "core/fixed_point.hpp"
+
+int main() {
+  using namespace lsm;
+  const auto f = bench::fidelity();
+  bench::print_header("Fig F8: composed-policy ablation (lambda = 0.95)", f);
+  par::ThreadPool pool(util::worker_threads());
+  const double lambda = 0.95;
+
+  struct Step {
+    const char* label;
+    core::ComposedPolicy policy;
+  };
+  const Step steps[] = {
+      {"threshold T=4", {.threshold = 4}},
+      {"+ d=2 choices", {.threshold = 4, .choices = 2}},
+      {"+ k=2 steals", {.threshold = 4, .choices = 2, .steal_count = 2}},
+      {"+ B=2 preemptive",
+       {.threshold = 4, .choices = 2, .steal_count = 2, .begin_steal = 2}},
+      {"+ r=1 retries",
+       {.threshold = 4,
+        .choices = 2,
+        .steal_count = 2,
+        .begin_steal = 2,
+        .retry_rate = 1.0}},
+  };
+
+  util::Table table({"policy", "Est E[T]", "Sim(128)", "gain vs first"});
+  double first = 0.0;
+  for (const auto& step : steps) {
+    core::ComposedWS model(lambda, step.policy);
+    const double est = core::fixed_point_sojourn(model);
+    if (first == 0.0) first = est;
+
+    sim::SimConfig cfg;
+    cfg.processors = 128;
+    cfg.arrival_rate = lambda;
+    cfg.policy = sim::StealPolicy::composed(
+        step.policy.begin_steal, step.policy.threshold, step.policy.choices,
+        step.policy.steal_count, step.policy.retry_rate);
+    const double sim_w = bench::sim_mean_sojourn(cfg, f, pool);
+
+    table.add_row({step.label, util::Table::fmt(est),
+                   util::Table::fmt(sim_w),
+                   util::Table::fmt(first / est, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nno-stealing reference: " << 1.0 / (1.0 - lambda) << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure F9 (spectral companion to Section 4): relaxation of each policy's
+// mean-field dynamics. For every policy and load: the spectral gap of the
+// linearization at the fixed point, the implied relaxation time, the
+// measured time for an empty system to settle within 1e-3 (L1), and the
+// spectral lower-bound estimate for that settle time. Practical reading:
+// how much simulation warmup each regime needs, and how fast each policy
+// absorbs load shocks.
+#include <iostream>
+#include <memory>
+
+#include "analysis/spectral.hpp"
+#include "analysis/transient.hpp"
+#include "bench_common.hpp"
+#include "core/fixed_point.hpp"
+#include "core/registry.hpp"
+
+int main() {
+  using namespace lsm;
+  const auto f = bench::fidelity();
+  bench::print_header("Fig F9: relaxation spectra of the mean-field dynamics",
+                      f);
+
+  const struct {
+    const char* name;
+    core::ModelParams params;
+  } cases[] = {
+      {"no-stealing", {}},
+      {"simple", {}},
+      {"threshold", {{"T", 4}}},
+      {"multi-choice", {{"d", 2}}},
+      {"repeated", {{"r", 2.0}}},
+      {"composed", {{"T", 4}, {"d", 2}, {"k", 2}, {"B", 2}, {"r", 1.0}}},
+  };
+
+  for (double lambda : {0.70, 0.90}) {
+    std::cout << "lambda = " << lambda << "\n";
+    util::Table table({"policy", "gap", "tau = 1/gap", "settle(1e-3)",
+                       "spectral est."});
+    for (const auto& c : cases) {
+      const auto model = core::make_model(c.name, lambda, c.params);
+      const auto fp = core::solve_fixed_point(*model);
+      const auto spec = analysis::dominant_relaxation_mode(*model, fp.state);
+      const auto tr = analysis::time_to_steady_state(
+          *model, model->empty_state(), fp.state, 1e-3);
+      const double est = spec.converged && spec.spectral_gap > 0.0
+                             ? analysis::spectral_settle_estimate(
+                                   tr.initial_distance, 1e-3,
+                                   spec.spectral_gap)
+                             : 0.0;
+      table.add_row({c.name,
+                     spec.converged ? util::Table::fmt(spec.spectral_gap, 4)
+                                    : "-",
+                     spec.converged
+                         ? util::Table::fmt(spec.relaxation_time, 1)
+                         : "-",
+                     tr.settled ? util::Table::fmt(tr.settle_time, 1) : ">max",
+                     est > 0.0 ? util::Table::fmt(est, 1) : "-"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "reading: better stealing policies both shorten queues AND "
+               "recover faster from shocks; the gap collapses as lambda -> 1, "
+               "which is why the paper's lambda = 0.99 simulations need long "
+               "warmups\n";
+  return 0;
+}

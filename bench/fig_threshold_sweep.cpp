@@ -1,0 +1,43 @@
+// Figure F3 (Section 2.3 ablation): expected time in system across steal
+// thresholds T = 2..8 and arrival rates, from the closed-form fixed point,
+// with a simulated spot check at lambda = 0.9. With instant transfers,
+// lower thresholds always help; the threshold only pays off once
+// transfers cost time (see table3/fig for that crossover).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/threshold_ws.hpp"
+
+int main() {
+  using namespace lsm;
+  const auto f = bench::fidelity();
+  bench::print_header("Fig F3: threshold sweep (closed-form estimates)", f);
+  par::ThreadPool pool(util::worker_threads());
+
+  std::vector<std::string> header = {"lambda"};
+  for (std::size_t T = 2; T <= 8; ++T) header.push_back("T=" + std::to_string(T));
+  util::Table table(std::move(header));
+
+  for (double lambda : {0.50, 0.80, 0.90, 0.95, 0.99}) {
+    std::vector<std::string> row = {util::Table::fmt(lambda, 2)};
+    for (std::size_t T = 2; T <= 8; ++T) {
+      row.push_back(util::Table::fmt(core::ThresholdWS(lambda, T).analytic_sojourn()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsimulated spot check, lambda = 0.9, n = 128:\n";
+  util::Table spot({"T", "Sim(128)", "Estimate"});
+  for (std::size_t T : {2u, 4u, 6u}) {
+    sim::SimConfig cfg;
+    cfg.processors = 128;
+    cfg.arrival_rate = 0.9;
+    cfg.policy = sim::StealPolicy::on_empty(T);
+    spot.add_row({std::to_string(T),
+                  util::Table::fmt(bench::sim_mean_sojourn(cfg, f, pool)),
+                  util::Table::fmt(core::ThresholdWS(0.9, T).analytic_sojourn())});
+  }
+  spot.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table 1: simulations vs fixed-point estimates for the
+// simplest WS model (steal one task on empty, T = 2), lambda from 0.50 to
+// 0.99, n in {16, 32, 64, 128}. Paper reference values:
+//
+//   lambda  Sim16   Sim32   Sim64   Sim128  Estimate RelErr%
+//   0.50    1.631   1.626   1.622   1.620   1.618    0.15
+//   0.99    17.863  14.368  12.183  11.306  10.462   7.46
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/threshold_ws.hpp"
+#include "util/statistics.hpp"
+
+int main() {
+  using namespace lsm;
+  const auto f = bench::fidelity();
+  bench::print_header("Table 1: simplest WS model, sim vs estimate", f);
+  par::ThreadPool pool(util::worker_threads());
+
+  util::Table table({"lambda", "Sim(16)", "Sim(32)", "Sim(64)", "Sim(128)",
+                     "Estimate", "RelErr(%)"});
+  for (double lambda : {0.50, 0.70, 0.80, 0.90, 0.95, 0.99}) {
+    core::SimpleWS model(lambda);
+    const double estimate = model.analytic_sojourn();
+    std::vector<std::string> row = {util::Table::fmt(lambda, 2)};
+    double sim128 = 0.0;
+    for (std::size_t n : {16u, 32u, 64u, 128u}) {
+      sim::SimConfig cfg;
+      cfg.processors = n;
+      cfg.arrival_rate = lambda;
+      cfg.policy = sim::StealPolicy::on_empty(2);
+      const double w = bench::sim_mean_sojourn(cfg, f, pool);
+      row.push_back(util::Table::fmt(w));
+      sim128 = w;
+    }
+    row.push_back(util::Table::fmt(estimate));
+    row.push_back(util::Table::fmt(util::relative_error_pct(sim128, estimate), 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: estimates 1.618 / 2.107 / 2.562 / 3.541 / 4.887 / "
+               "10.462; error grows with lambda, shrinks with n\n";
+  return 0;
+}

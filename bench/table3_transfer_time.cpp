@@ -1,0 +1,54 @@
+// Reproduces Table 3: stealing with transfer time r = 0.25 (mean transfer
+// 4 service units) for thresholds T = 3..6. For each lambda, simulations
+// at n = 128 sit next to the fixed-point estimates; the best threshold is
+// T = 4 ~ 1/r at small arrival rates and grows with lambda. Paper row
+// lambda = 0.95: Sim/Est = 13.162/13.106 (T=3) ... 13.067/12.925 (T=6).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fixed_point.hpp"
+#include "core/transfer_ws.hpp"
+
+int main() {
+  using namespace lsm;
+  const auto f = bench::fidelity();
+  bench::print_header("Table 3: transfer times (r = 0.25), threshold sweep",
+                      f);
+  par::ThreadPool pool(util::worker_threads());
+  constexpr double kRate = 0.25;
+
+  std::vector<std::string> header = {"lambda"};
+  for (std::size_t T : {3u, 4u, 5u, 6u}) {
+    header.push_back("T=" + std::to_string(T) + " Sim(128)");
+    header.push_back("T=" + std::to_string(T) + " Est");
+  }
+  header.push_back("best T (Est)");
+  util::Table table(std::move(header));
+
+  for (double lambda : {0.50, 0.70, 0.80, 0.90, 0.95}) {
+    std::vector<std::string> row = {util::Table::fmt(lambda, 2)};
+    double best_w = 1e300;
+    std::size_t best_T = 0;
+    for (std::size_t T : {3u, 4u, 5u, 6u}) {
+      sim::SimConfig cfg;
+      cfg.processors = 128;
+      cfg.arrival_rate = lambda;
+      cfg.policy = sim::StealPolicy::with_transfer(1.0 / kRate, T);
+      row.push_back(util::Table::fmt(bench::sim_mean_sojourn(cfg, f, pool)));
+
+      core::TransferTimeWS model(lambda, kRate, T);
+      const double est = core::fixed_point_sojourn(model);
+      row.push_back(util::Table::fmt(est));
+      if (est < best_w) {
+        best_w = est;
+        best_T = T;
+      }
+    }
+    row.push_back(std::to_string(best_T));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: best threshold T = 4 = 1/r at small lambda, larger "
+               "at higher arrival rates\n";
+  return 0;
+}

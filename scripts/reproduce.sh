@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, and run every table/figure bench.
+#
+#   scripts/reproduce.sh          # CI-speed defaults (~5 min single core)
+#   LSM_PAPER=1 scripts/reproduce.sh   # paper fidelity (hours)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,44 @@
+// Model-vs-simulation comparison helpers shared by the bench harnesses:
+// each paper table row is "simulate at several n, solve the fixed point,
+// report both and the relative error".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fixed_point.hpp"
+#include "core/model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/replicate.hpp"
+#include "sim/simulator.hpp"
+
+namespace lsm::analysis {
+
+struct ComparisonRow {
+  double lambda = 0.0;
+  std::vector<double> sim_sojourn;  ///< one entry per processor count
+  double estimate = 0.0;            ///< fixed-point prediction
+  double rel_error_pct = 0.0;       ///< vs the largest simulated n
+};
+
+struct ComparisonSpec {
+  std::vector<double> lambdas;
+  std::vector<std::size_t> processor_counts;
+  std::size_t replications = 10;
+  double horizon = 100000.0;
+  double warmup = 10000.0;
+  std::uint64_t seed = 42;
+};
+
+/// Scales a paper-fidelity spec down for quick runs (shape-preserving):
+/// fewer replications and a shorter horizon.
+[[nodiscard]] ComparisonSpec quick_spec(ComparisonSpec spec);
+
+/// Runs the sim/model comparison for one row: `config` carries everything
+/// except processor count; `estimate` is the fixed-point sojourn.
+[[nodiscard]] ComparisonRow compare_row(const sim::SimConfig& base,
+                                        const ComparisonSpec& spec,
+                                        double estimate,
+                                        par::ThreadPool& pool);
+
+}  // namespace lsm::analysis

@@ -1,0 +1,31 @@
+// Multi-start convergence checks (Section 4's practical recommendation:
+// "one can check for convergence to the fixed point numerically using
+// various starting points").
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "ode/state.hpp"
+
+namespace lsm::analysis {
+
+struct ConvergenceReport {
+  std::size_t starts = 0;
+  std::size_t converged = 0;  ///< reached the fixed point within tolerance
+  double worst_final_distance = 0.0;
+  [[nodiscard]] bool all_converged() const { return converged == starts; }
+};
+
+/// Generates `count` feasible random starting states for `model`
+/// (monotone tails with geometric-ish decay of random rate and head mass).
+[[nodiscard]] std::vector<ode::State> random_starts(
+    const core::MeanFieldModel& model, std::size_t count, std::uint64_t seed);
+
+/// Integrates each start for up to `t_max` and reports how many end within
+/// `tol` (L1) of `fixed_point`.
+[[nodiscard]] ConvergenceReport check_convergence(
+    const core::MeanFieldModel& model, const std::vector<ode::State>& starts,
+    const ode::State& fixed_point, double t_max, double tol = 1e-6);
+
+}  // namespace lsm::analysis

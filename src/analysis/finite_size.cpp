@@ -1,0 +1,54 @@
+#include "analysis/finite_size.hpp"
+
+#include <cmath>
+
+#include "sim/replicate.hpp"
+#include "util/error.hpp"
+
+namespace lsm::analysis {
+
+ScalingFit fit_one_over_n(const std::vector<std::size_t>& processor_counts,
+                          const std::vector<double>& values) {
+  LSM_EXPECT(processor_counts.size() == values.size(),
+             "counts and values must align");
+  LSM_EXPECT(processor_counts.size() >= 2, "need at least two points to fit");
+  // Ordinary least squares of y on x = 1/n.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const auto m = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    LSM_EXPECT(processor_counts[i] >= 1, "processor counts must be >= 1");
+    const double x = 1.0 / static_cast<double>(processor_counts[i]);
+    sx += x;
+    sy += values[i];
+    sxx += x * x;
+    sxy += x * values[i];
+  }
+  ScalingFit fit;
+  fit.coefficient = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  fit.limit = (sy - fit.coefficient * sx) / m;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double pred =
+        fit.limit + fit.coefficient / static_cast<double>(processor_counts[i]);
+    ss += (values[i] - pred) * (values[i] - pred);
+  }
+  fit.residual = std::sqrt(ss / m);
+  fit.processor_counts = processor_counts;
+  fit.values = values;
+  return fit;
+}
+
+ScalingFit sojourn_scaling(const sim::SimConfig& base,
+                           const std::vector<std::size_t>& counts,
+                           std::size_t replications, par::ThreadPool& pool) {
+  std::vector<double> values;
+  values.reserve(counts.size());
+  for (std::size_t n : counts) {
+    sim::SimConfig cfg = base;
+    cfg.processors = n;
+    values.push_back(sim::replicate(cfg, replications, pool).sojourn.mean);
+  }
+  return fit_one_over_n(counts, values);
+}
+
+}  // namespace lsm::analysis

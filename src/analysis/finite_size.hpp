@@ -1,0 +1,35 @@
+// Finite-size scaling: Table 1 shows the simulated mean sojourn
+// approaching the mean-field estimate as n grows. Empirically the bias is
+// O(1/n); fitting E[T](n) = a + b/n across processor counts recovers the
+// n -> infinity limit `a` from small simulations and quantifies the
+// finite-size penalty `b`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace lsm::analysis {
+
+struct ScalingFit {
+  double limit = 0.0;        ///< a: extrapolated n -> infinity value
+  double coefficient = 0.0;  ///< b: the 1/n bias coefficient
+  double residual = 0.0;     ///< RMS residual of the fit
+  std::vector<std::size_t> processor_counts;
+  std::vector<double> values;
+};
+
+/// Least-squares fit of y = a + b / n.
+[[nodiscard]] ScalingFit fit_one_over_n(
+    const std::vector<std::size_t>& processor_counts,
+    const std::vector<double>& values);
+
+/// Simulates `base` at each processor count (replications per point) and
+/// fits the 1/n law to the measured mean sojourns.
+[[nodiscard]] ScalingFit sojourn_scaling(
+    const sim::SimConfig& base, const std::vector<std::size_t>& counts,
+    std::size_t replications, par::ThreadPool& pool);
+
+}  // namespace lsm::analysis

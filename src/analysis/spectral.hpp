@@ -1,0 +1,32 @@
+// Spectral analysis of the linearization at a fixed point: the dominant
+// (slowest) relaxation mode of the mean-field dynamics. Complements the
+// Section 4 stability results: the spectral gap -Re(lambda_max) sets the
+// exponential rate at which trajectories (and hence the finite system's
+// ensemble averages) approach the fixed point.
+#pragma once
+
+#include "core/model.hpp"
+#include "ode/state.hpp"
+
+namespace lsm::analysis {
+
+struct SpectralResult {
+  double dominant_eigenvalue = 0.0;  ///< eigenvalue of J with smallest |.|
+  double spectral_gap = 0.0;         ///< -dominant_eigenvalue (stable => > 0)
+  double relaxation_time = 0.0;      ///< 1 / gap
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates the slowest eigenvalue of the Jacobian of `model` at `state`
+/// (a fixed point) by inverse power iteration on a dense finite-difference
+/// Jacobian restricted to the dynamic components (row/column 0 and other
+/// pinned heads are excluded via the model's root_residual structure).
+///
+/// Intended for moderate dimensions (<= ~1500); O(n^3) once plus O(n^2)
+/// per iteration.
+[[nodiscard]] SpectralResult dominant_relaxation_mode(
+    const core::MeanFieldModel& model, const ode::State& state,
+    double tol = 1e-10, std::size_t max_iter = 500);
+
+}  // namespace lsm::analysis

@@ -1,0 +1,43 @@
+#include "analysis/stability.hpp"
+
+#include <algorithm>
+
+#include "ode/integrator.hpp"
+#include "util/error.hpp"
+
+namespace lsm::analysis {
+
+StabilityTrace trace_l1_distance(const core::MeanFieldModel& model,
+                                 ode::State start,
+                                 const ode::State& fixed_point,
+                                 double duration, double sample_dt) {
+  LSM_EXPECT(start.size() == model.dimension(), "start dimension mismatch");
+  LSM_EXPECT(fixed_point.size() == model.dimension(), "pi dimension mismatch");
+  LSM_EXPECT(duration > 0.0 && sample_dt > 0.0, "positive durations required");
+
+  StabilityTrace trace;
+  model.project(start);
+  trace.samples.push_back({0.0, ode::distance_l1(start, fixed_point)});
+
+  double next_sample = sample_dt;
+  ode::AdaptiveOptions opts;
+  opts.dt_max = sample_dt;
+  double t = 0.0;
+  while (t < duration) {
+    const double target = std::min(next_sample, duration);
+    t = ode::integrate_adaptive(model, start, t, target, opts);
+    const double d = ode::distance_l1(start, fixed_point);
+    const double increase = d - trace.samples.back().l1;
+    trace.max_increase = std::max(trace.max_increase, increase);
+    trace.samples.push_back({t, d});
+    next_sample = t + sample_dt;
+  }
+  return trace;
+}
+
+bool theorem_stability_condition(const ode::State& fixed_point) {
+  LSM_EXPECT(fixed_point.size() >= 3, "state too small");
+  return fixed_point[2] < 0.5;
+}
+
+}  // namespace lsm::analysis

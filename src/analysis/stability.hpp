@@ -1,0 +1,36 @@
+// Numerical companions to Section 4 (Convergence and Stability): track the
+// L1 distance D(t) = sum_i |s_i(t) - pi_i| along trajectories and test the
+// paper's stability property (D non-increasing), which Theorems 1-2 prove
+// for pi_2 < 1/2.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "ode/state.hpp"
+
+namespace lsm::analysis {
+
+struct DistanceSample {
+  double t = 0.0;
+  double l1 = 0.0;
+};
+
+struct StabilityTrace {
+  std::vector<DistanceSample> samples;
+  double max_increase = 0.0;  ///< largest observed D(t+dt) - D(t) (>0 = violation)
+  bool monotone_within(double tol) const { return max_increase <= tol; }
+};
+
+/// Integrates `model` from `start` for `duration`, sampling the L1 distance
+/// to `fixed_point` every `sample_dt`.
+[[nodiscard]] StabilityTrace trace_l1_distance(const core::MeanFieldModel& model,
+                                               ode::State start,
+                                               const ode::State& fixed_point,
+                                               double duration,
+                                               double sample_dt = 0.25);
+
+/// Theorem 1/2 sufficient condition: pi_2 < 1/2 at the fixed point.
+[[nodiscard]] bool theorem_stability_condition(const ode::State& fixed_point);
+
+}  // namespace lsm::analysis

@@ -1,0 +1,47 @@
+#include "analysis/transient.hpp"
+
+#include <cmath>
+
+#include "ode/integrator.hpp"
+#include "util/error.hpp"
+
+namespace lsm::analysis {
+
+TransientResult time_to_steady_state(const core::MeanFieldModel& model,
+                                     ode::State start,
+                                     const ode::State& fixed_point,
+                                     double epsilon, double t_max) {
+  LSM_EXPECT(start.size() == model.dimension(), "start dimension mismatch");
+  LSM_EXPECT(fixed_point.size() == model.dimension(), "pi dimension mismatch");
+  LSM_EXPECT(epsilon > 0.0, "epsilon must be positive");
+
+  TransientResult out;
+  model.project(start);
+  out.initial_distance = ode::distance_l1(start, fixed_point);
+  if (out.initial_distance < epsilon) {
+    out.settled = true;
+    return out;
+  }
+  ode::AdaptiveOptions opts;
+  opts.dt_max = 1.0;
+  ode::integrate_adaptive(model, start, 0.0, t_max, opts,
+                          [&](double t, const ode::State& x) {
+                            if (ode::distance_l1(x, fixed_point) < epsilon) {
+                              out.settle_time = t;
+                              out.settled = true;
+                              return false;
+                            }
+                            return true;
+                          });
+  return out;
+}
+
+double spectral_settle_estimate(double initial_distance, double epsilon,
+                                double gap) {
+  LSM_EXPECT(gap > 0.0, "requires a stable (positive) spectral gap");
+  LSM_EXPECT(initial_distance > 0.0 && epsilon > 0.0, "positive distances");
+  if (initial_distance <= epsilon) return 0.0;
+  return std::log(initial_distance / epsilon) / gap;
+}
+
+}  // namespace lsm::analysis

@@ -1,0 +1,32 @@
+// Transient behavior: how long until the system "forgets" its initial
+// condition? Used to size simulation warmups (the paper throws away the
+// first 10,000 of 100,000 seconds) and to understand how quickly a
+// stealing policy absorbs a load shock.
+#pragma once
+
+#include "core/model.hpp"
+#include "ode/state.hpp"
+
+namespace lsm::analysis {
+
+struct TransientResult {
+  double settle_time = 0.0;   ///< first t with L1 distance < epsilon
+  double initial_distance = 0.0;
+  bool settled = false;
+};
+
+/// Integrates from `start` until the L1 distance to `fixed_point` drops
+/// below `epsilon` (or t_max passes). The mean-field analogue of "how
+/// much warmup does a simulation need".
+[[nodiscard]] TransientResult time_to_steady_state(
+    const core::MeanFieldModel& model, ode::State start,
+    const ode::State& fixed_point, double epsilon = 1e-3,
+    double t_max = 1e5);
+
+/// Predicted time for the distance to shrink from d0 to epsilon at the
+/// spectral rate `gap`: ln(d0/eps)/gap. A lower bound on settle time that
+/// becomes exact once the slowest mode dominates.
+[[nodiscard]] double spectral_settle_estimate(double initial_distance,
+                                              double epsilon, double gap);
+
+}  // namespace lsm::analysis

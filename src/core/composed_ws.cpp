@@ -1,0 +1,109 @@
+#include "core/composed_ws.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+double int_pow(double x, std::size_t d) {
+  double acc = 1.0;
+  for (std::size_t i = 0; i < d; ++i) acc *= x;
+  return acc;
+}
+}  // namespace
+
+ComposedWS::ComposedWS(double lambda, ComposedPolicy policy,
+                       std::size_t truncation)
+    : MeanFieldModel(lambda,
+                     truncation != 0
+                         ? truncation
+                         : default_truncation(lambda) + policy.threshold +
+                               policy.begin_steal + policy.steal_count),
+      policy_(policy) {
+  LSM_EXPECT(policy.threshold >= 2, "threshold must be at least 2");
+  LSM_EXPECT(policy.choices >= 1, "need at least one probe");
+  LSM_EXPECT(policy.steal_count >= 1, "must steal at least one task");
+  LSM_EXPECT(2 * policy.steal_count <= policy.threshold,
+             "requires k <= T/2 so victims stay ahead of thieves");
+  LSM_EXPECT(policy.retry_rate >= 0.0, "retry rate must be non-negative");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > policy.threshold + policy.begin_steal +
+                          policy.steal_count + 2,
+             "truncation too small for the policy");
+}
+
+std::string ComposedWS::name() const {
+  return "composed-ws(T=" + std::to_string(policy_.threshold) +
+         ",d=" + std::to_string(policy_.choices) +
+         ",k=" + std::to_string(policy_.steal_count) +
+         ",B=" + std::to_string(policy_.begin_steal) +
+         ",r=" + std::to_string(policy_.retry_rate) + ")";
+}
+
+void ComposedWS::deriv(double /*t*/, const ode::State& s,
+                       ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = policy_.threshold;
+  const std::size_t d = policy_.choices;
+  const std::size_t k = policy_.steal_count;
+  const std::size_t B = policy_.begin_steal;
+  const double r = policy_.retry_rate;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  auto at = [&](std::size_t i) { return i <= L ? s[i] : 0.0; };
+
+  // succ_j = P(a probe set finds a victim >= j + T).
+  auto succ = [&](std::size_t j) { return 1.0 - int_pow(1.0 - at(j + T), d); };
+  // Thief-attempt rate at load j (completions landing at j, plus retries
+  // for idle processors).
+  const double idle = s[0] - s[1];
+  auto attempt_rate = [&](std::size_t j) {
+    double rate = 0.0;
+    if (j <= B) rate += at(j + 1) - at(j + 2);
+    if (j == 0) rate += r * idle;
+    return rate;
+  };
+
+  ds[0] = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    double dv = lambda_ * (s[i - 1] - s[i]);
+
+    // Completions: a processor at load i drops below i unless it is a
+    // steal-eligible thief (i-1 <= B) whose attempt succeeds (it then
+    // jumps to i-1+k >= i).
+    double retain = 0.0;
+    if (i - 1 <= B) retain = succ(i - 1);
+    dv -= (s[i] - at(i + 1)) * (1.0 - retain);
+
+    // Thief gains: a thief at load j jumping to j + k newly crosses
+    // levels j+2 .. j+k (level j+1 is the retention above).
+    if (k >= 2 && i >= 2) {
+      const std::size_t j_lo = i >= k ? i - k : 0;
+      const std::size_t j_hi = std::min(B, i - 2);
+      for (std::size_t j = j_lo; j <= j_hi; ++j) {
+        dv += (at(j + 1) - at(j + 2)) * succ(j);
+      }
+    }
+    // Retry thieves jump 0 -> k, crossing levels 1..k.
+    if (r > 0.0 && i <= k) dv += r * idle * succ(0);
+
+    // Victim losses: a victim at load v in [max(i, j+T), i+k) drops below
+    // level i when it loses k tasks. Victim-load distribution is the max
+    // of d probes restricted to >= j + T.
+    const double one_minus_sik = 1.0 - at(i + k);
+    for (std::size_t j = 0; j <= B; ++j) {  // j = 0 covers retry thieves
+      const double rate = attempt_rate(j);
+      if (rate > 0.0 && i + k > j + T) {
+        const std::size_t lo = std::max(i, j + T);
+        dv -= rate *
+              (int_pow(one_minus_sik, d) - int_pow(1.0 - at(lo), d));
+      }
+    }
+
+    ds[i] = dv;
+  }
+}
+
+}  // namespace lsm::core

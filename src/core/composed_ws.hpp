@@ -1,0 +1,56 @@
+// Composed work stealing model: every Section 2-3 policy dimension in one
+// family, as the paper suggests ("the extensions can be combined as
+// desired"). Parameters:
+//
+//   T  victim threshold, relative to the thief's load (absolute when the
+//      thief is empty): a thief at load j steals from victims >= j + T
+//   d  victims probed per attempt; steal from the most loaded
+//   k  tasks taken per successful steal (2k <= T)
+//   B  preemptive trigger: attempts fire on completions landing at j <= B
+//   r  retry rate for idle (empty, load-0) processors
+//
+// Derivation sketch (p_j = s_j - s_{j+1}, succ_j = 1 - (1-s_{j+T})^d,
+// R_j = thief-attempt rate at load j):
+//
+//   R_j = [j <= B] (s_{j+1} - s_{j+2}) + [j == 0] r (s_0 - s_1)
+//
+//   ds_i/dt = l(s_{i-1} - s_i)
+//     - (s_i - s_{i+1}) (1 - [i-1 <= B] succ_{i-1})          completions
+//     + sum_{j = max(0,i-k)}^{min(B, i-2)} (s_{j+1}-s_{j+2}) succ_j
+//     + [1 <= i <= k] r (s_0 - s_1) succ_0                   thief jumps
+//     - sum_j R_j [(1 - s_{i+k})^d - (1 - s_{max(i, j+T)})^d]  victims
+//       (terms with i + k <= j + T vanish)
+//
+// Setting (d,k,B,r) = (1,1,0,0) recovers ThresholdWS; each single
+// parameter recovers the corresponding specialized model (tested in
+// tests/model_reduction_test.cpp).
+#pragma once
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+struct ComposedPolicy {
+  std::size_t threshold = 2;    ///< T >= 2
+  std::size_t choices = 1;      ///< d >= 1
+  std::size_t steal_count = 1;  ///< k >= 1, 2k <= T
+  std::size_t begin_steal = 0;  ///< B >= 0
+  double retry_rate = 0.0;      ///< r >= 0
+};
+
+class ComposedWS final : public MeanFieldModel {
+ public:
+  ComposedWS(double lambda, ComposedPolicy policy, std::size_t truncation = 0);
+
+  void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const ComposedPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  ComposedPolicy policy_;
+};
+
+}  // namespace lsm::core

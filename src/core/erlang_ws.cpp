@@ -1,0 +1,68 @@
+#include "core/erlang_ws.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+std::size_t pick_truncation(double lambda, std::size_t stages,
+                            std::size_t requested) {
+  if (requested != 0) return requested;
+  // Size in whole tasks using the exponential-service tail ratio as an
+  // upper bound (constant service decays faster; Section 3.1 / Table 2).
+  const double pi2 = simple_ws_pi2(std::min(lambda, 0.999));
+  const double rho = lambda / (1.0 + lambda - pi2);
+  const double tasks_needed = std::log(1e-12) / std::log(rho);
+  const auto tasks = static_cast<std::size_t>(
+      std::clamp(tasks_needed + 6.0, 24.0, 400.0));
+  return stages * (tasks + 1);
+}
+}  // namespace
+
+ErlangServiceWS::ErlangServiceWS(double lambda, std::size_t stages,
+                                 std::size_t truncation)
+    : MeanFieldModel(lambda, pick_truncation(lambda, stages, truncation)),
+      stages_(stages) {
+  LSM_EXPECT(stages >= 1, "need at least one service stage");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ >= 3 * stages, "truncation must cover several tasks");
+}
+
+std::string ErlangServiceWS::name() const {
+  return "erlang-ws(c=" + std::to_string(stages_) + ")";
+}
+
+void ErlangServiceWS::deriv(double /*t*/, const ode::State& s,
+                            ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t c = stages_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  auto at = [&](std::size_t i) { return i <= L ? s[i] : 0.0; };
+  const auto mu = static_cast<double>(c);  // per-stage completion rate
+  const double finishers = s[1] - s[2];    // procs on their final stage
+  ds[0] = 0.0;
+  ds[1] = lambda_ * (s[0] - s[1]) - mu * finishers * (1.0 - at(c + 1));
+  for (std::size_t i = 2; i <= std::min(c, L); ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    ds[i] = lambda_ * (s[0] - s[i]) + mu * finishers * at(i + c) -
+            mu * (s[i] - s_next);
+  }
+  for (std::size_t i = c + 1; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    ds[i] = lambda_ * (s[i - c] - s[i]) - mu * (s[i] - s_next) -
+            mu * (s[i] - at(i + c)) * finishers;
+  }
+}
+
+double ErlangServiceWS::mean_tasks(const ode::State& s) const {
+  LSM_ASSERT(s.size() == trunc_ + 1);
+  double acc = 0.0;
+  // ceil(stages/c) tasks: sum P(stages >= kc + 1) over k >= 0.
+  for (std::size_t i = 1; i <= trunc_; i += stages_) acc += s[i];
+  return acc;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,79 @@
+#include "core/fixed_point.hpp"
+
+#include <utility>
+
+#include "ode/implicit.hpp"
+#include "ode/newton.hpp"
+#include "ode/steady_state.hpp"
+
+namespace lsm::core {
+
+namespace {
+
+/// Adapter presenting the model's root_residual as an OdeSystem so the
+/// generic Newton solver can drive it.
+class RootSystem final : public ode::OdeSystem {
+ public:
+  explicit RootSystem(const MeanFieldModel& model) : model_(model) {}
+
+  void deriv(double /*t*/, const ode::State& s, ode::State& ds) const override {
+    model_.root_residual(s, ds);
+  }
+  [[nodiscard]] std::size_t dimension() const override {
+    return model_.dimension();
+  }
+  void project(ode::State& s) const override { model_.project(s); }
+
+ private:
+  const MeanFieldModel& model_;
+};
+
+}  // namespace
+
+FixedPointResult solve_fixed_point(const MeanFieldModel& model,
+                                   const FixedPointOptions& opts) {
+  FixedPointResult result;
+  if (const std::size_t band = model.stiff_bandwidth(); band > 0) {
+    // Stiff path: pseudo-transient continuation with banded chord Newton.
+    ode::StiffRelaxOptions sopts;
+    sopts.implicit.kl = band;
+    sopts.implicit.ku = band;
+    sopts.deriv_tol = std::min(opts.relax_tol, 1e-10);
+    auto relaxed =
+        ode::stiff_relax_to_fixed_point(model, model.empty_state(), sopts);
+    result.residual = relaxed.deriv_norm;
+    result.state = std::move(relaxed.state);
+  } else {
+    ode::SteadyStateOptions sopts;
+    sopts.deriv_tol = opts.relax_tol;
+    sopts.t_max = opts.t_max;
+    sopts.check_interval = opts.check_interval;
+    sopts.adaptive.rtol = 1e-9;   // keep the integrator's noise floor well
+    sopts.adaptive.atol = 1e-12;  // below deriv_tol so relaxation terminates
+    auto relaxed =
+        ode::relax_to_fixed_point(model, model.empty_state(), sopts);
+    result.relax_time = relaxed.time;
+    result.residual = relaxed.deriv_norm;
+    result.state = std::move(relaxed.state);
+  }
+
+  if (opts.polish && model.dimension() <= opts.newton_max_dim) {
+    RootSystem root(model);
+    ode::NewtonOptions nopts;
+    nopts.tol = opts.polish_tol;
+    auto polished = ode::newton_fixed_point(root, result.state, nopts);
+    if (polished.converged) {
+      result.state = std::move(polished.state);
+      result.residual = polished.residual_norm;
+      result.polished = true;
+    }
+  }
+  return result;
+}
+
+double fixed_point_sojourn(const MeanFieldModel& model,
+                           const FixedPointOptions& opts) {
+  return model.mean_sojourn(solve_fixed_point(model, opts).state);
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,40 @@
+// Fixed-point computation for any MeanFieldModel: ODE relaxation from the
+// empty state (robust; the systems converge to their fixed points, paper
+// Section 4) followed by a Newton polish on the algebraic system f(s) = 0
+// for high-accuracy tails.
+#pragma once
+
+#include "core/model.hpp"
+#include "ode/state.hpp"
+
+namespace lsm::core {
+
+struct FixedPointOptions {
+  /// ||f||_inf target for the relaxation phase. Kept well above the
+  /// integrator's error floor (rtol ~ 1e-9) so relaxation always
+  /// terminates; the Newton polish supplies the final accuracy.
+  double relax_tol = 1e-8;
+  double polish_tol = 1e-13;  ///< ||f||_inf target for the Newton phase
+  bool polish = true;
+  std::size_t newton_max_dim = 1400;  ///< skip Newton above this dimension
+  double t_max = 1e6;                 ///< relaxation horizon before giving up
+  double check_interval = 25.0;       ///< relaxation convergence test period
+};
+
+struct FixedPointResult {
+  ode::State state;
+  double residual = 0.0;   ///< final ||f(s)||_inf
+  bool polished = false;   ///< Newton phase ran and converged
+  double relax_time = 0.0; ///< virtual time used by the relaxation
+};
+
+/// Computes the fixed point of `model`. Throws util::Error when the
+/// relaxation fails to converge within t_max.
+[[nodiscard]] FixedPointResult solve_fixed_point(
+    const MeanFieldModel& model, const FixedPointOptions& opts = {});
+
+/// Convenience: fixed point -> mean sojourn time (the tables' "Estimate").
+[[nodiscard]] double fixed_point_sojourn(const MeanFieldModel& model,
+                                         const FixedPointOptions& opts = {});
+
+}  // namespace lsm::core

@@ -1,0 +1,104 @@
+#include "core/heterogeneous_ws.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+HeterogeneousWS::HeterogeneousWS(double lambda, double fast_fraction,
+                                 double fast_rate, double slow_rate,
+                                 std::size_t threshold, std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : default_truncation(lambda) + threshold),
+      frac_(fast_fraction),
+      mu_fast_(fast_rate),
+      mu_slow_(slow_rate),
+      threshold_(threshold) {
+  LSM_EXPECT(fast_fraction > 0.0 && fast_fraction < 1.0,
+             "fast fraction must lie strictly inside (0,1)");
+  LSM_EXPECT(fast_rate > 0.0 && slow_rate > 0.0, "service rates > 0");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  const double capacity = fast_fraction * fast_rate +
+                          (1.0 - fast_fraction) * slow_rate;
+  LSM_EXPECT(lambda < capacity, "offered load exceeds aggregate capacity");
+}
+
+std::string HeterogeneousWS::name() const {
+  return "heterogeneous-ws(f=" + std::to_string(frac_) + ")";
+}
+
+ode::State HeterogeneousWS::empty_state() const {
+  ode::State s(dimension(), 0.0);
+  s[0] = frac_;
+  s[v_index(0)] = 1.0 - frac_;
+  return s;
+}
+
+void HeterogeneousWS::deriv(double /*t*/, const ode::State& x,
+                            ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t V = L + 1;
+  LSM_ASSERT(x.size() == 2 * V && dx.size() == 2 * V);
+  auto u = [&](std::size_t i) { return i <= L ? x[i] : 0.0; };
+  auto v = [&](std::size_t i) { return i <= L ? x[V + i] : 0.0; };
+
+  const double steal_rate =
+      mu_fast_ * (u(1) - u(2)) + mu_slow_ * (v(1) - v(2));
+  const double fail = 1.0 - u(T) - v(T);
+
+  dx[0] = 0.0;
+  dx[V] = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    double du = lambda_ * (u(i - 1) - u(i));
+    double dv = lambda_ * (v(i - 1) - v(i));
+    if (i == 1) {
+      du -= mu_fast_ * (u(1) - u(2)) * fail;
+      dv -= mu_slow_ * (v(1) - v(2)) * fail;
+    } else {
+      du -= mu_fast_ * (u(i) - u(i + 1));
+      dv -= mu_slow_ * (v(i) - v(i + 1));
+    }
+    if (i >= T) {
+      du -= steal_rate * (u(i) - u(i + 1));
+      dv -= steal_rate * (v(i) - v(i + 1));
+    }
+    dx[i] = du;
+    dx[V + i] = dv;
+  }
+}
+
+void HeterogeneousWS::project(ode::State& x) const {
+  const std::size_t V = trunc_ + 1;
+  project_segment(x, 0, V, frac_);
+  project_segment(x, V, 2 * V, 1.0 - frac_);
+}
+
+void HeterogeneousWS::root_residual(const ode::State& x, ode::State& f) const {
+  deriv(0.0, x, f);
+  f[0] = frac_ - x[0];
+  f[v_index(0)] = (1.0 - frac_) - x[v_index(0)];
+}
+
+double HeterogeneousWS::mean_tasks(const ode::State& x) const {
+  const std::size_t V = trunc_ + 1;
+  LSM_ASSERT(x.size() == 2 * V);
+  double acc = 0.0;
+  for (std::size_t i = trunc_; i >= 1; --i) acc += x[i] + x[V + i];
+  return acc;
+}
+
+double HeterogeneousWS::mean_tasks_fast(const ode::State& x) const {
+  double acc = 0.0;
+  for (std::size_t i = trunc_; i >= 1; --i) acc += x[i];
+  return acc / frac_;
+}
+
+double HeterogeneousWS::mean_tasks_slow(const ode::State& x) const {
+  const std::size_t V = trunc_ + 1;
+  double acc = 0.0;
+  for (std::size_t i = trunc_; i >= 1; --i) acc += x[V + i];
+  return acc / (1.0 - frac_);
+}
+
+}  // namespace lsm::core

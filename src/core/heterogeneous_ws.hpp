@@ -1,0 +1,60 @@
+// Heterogeneous processor speeds (paper, Section 3.5): a fixed fraction of
+// fast processors (service rate mu_f) and slow processors (mu_s), each
+// receiving Poisson(lambda) arrivals, with threshold stealing across the
+// whole machine (uniform victim choice, instantaneous transfer).
+//
+// State: u_i = fraction of ALL processors that are fast with >= i tasks
+// (u_0 = fast_fraction), v_i likewise for slow (v_0 = 1 - fast_fraction).
+//
+//   du_1/dt = l(u_0 - u_1) - mu_f (u_1 - u_2)(1 - u_T - v_T)
+//   du_i/dt = l(u_{i-1} - u_i) - mu_f (u_i - u_{i+1})          2 <= i < T
+//   du_i/dt = ... - R (u_i - u_{i+1})                              i >= T
+// (and symmetrically for v), where R = mu_f(u_1-u_2) + mu_s(v_1-v_2) is
+// the total steal-attempt rate. At the fixed point throughput balances:
+// mu_f u_1 + mu_s v_1 = lambda.
+#pragma once
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+class HeterogeneousWS final : public MeanFieldModel {
+ public:
+  HeterogeneousWS(double lambda, double fast_fraction, double fast_rate,
+                  double slow_rate, std::size_t threshold,
+                  std::size_t truncation = 0);
+
+  /// Packed state: [u_0..u_L, v_0..v_L] -> dimension 2L + 2.
+  [[nodiscard]] std::size_t dimension() const override {
+    return 2 * (trunc_ + 1);
+  }
+
+  void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] std::string name() const override;
+  void project(ode::State& s) const override;
+  void root_residual(const ode::State& s, ode::State& f) const override;
+  [[nodiscard]] ode::State empty_state() const override;
+
+  [[nodiscard]] double fast_fraction() const noexcept { return frac_; }
+  [[nodiscard]] double fast_rate() const noexcept { return mu_fast_; }
+  [[nodiscard]] double slow_rate() const noexcept { return mu_slow_; }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] double mean_tasks(const ode::State& s) const override;
+
+  /// Per-class mean load conditioned on class membership.
+  [[nodiscard]] double mean_tasks_fast(const ode::State& s) const;
+  [[nodiscard]] double mean_tasks_slow(const ode::State& s) const;
+
+  [[nodiscard]] std::size_t v_index(std::size_t i) const noexcept {
+    return trunc_ + 1 + i;
+  }
+
+ private:
+  double frac_;
+  double mu_fast_;
+  double mu_slow_;
+  std::size_t threshold_;
+};
+
+}  // namespace lsm::core

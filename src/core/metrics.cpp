@@ -1,0 +1,46 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "ode/integrator.hpp"
+#include "util/error.hpp"
+#include "util/statistics.hpp"
+
+namespace lsm::core {
+
+double tail_decay_ratio(const ode::State& pi, std::size_t begin,
+                        double floor) {
+  LSM_EXPECT(begin + 2 < pi.size(), "tail window too small");
+  std::vector<double> window;
+  window.reserve(pi.size() - begin);
+  for (std::size_t i = begin; i < pi.size(); ++i) {
+    if (pi[i] <= floor) break;
+    window.push_back(pi[i]);
+  }
+  LSM_EXPECT(window.size() >= 3, "not enough tail mass above floor");
+  return std::exp(util::log_linear_slope(window));
+}
+
+double drain_time(const MeanFieldModel& model, ode::State start,
+                  double epsilon, double t_max) {
+  LSM_EXPECT(start.size() == model.dimension(), "state dimension mismatch");
+  double drained_at = -1.0;
+  ode::AdaptiveOptions opts;
+  opts.dt_max = 0.5;
+  ode::integrate_adaptive(
+      model, start, 0.0, t_max, opts,
+      [&](double t, const ode::State& s) {
+        if (model.mean_tasks(s) < epsilon) {
+          drained_at = t;
+          return false;  // stop integration
+        }
+        return true;
+      });
+  if (drained_at < 0.0) {
+    throw util::Error("drain_time: system did not drain by t_max");
+  }
+  return drained_at;
+}
+
+}  // namespace lsm::core

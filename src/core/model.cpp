@@ -1,0 +1,78 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+MeanFieldModel::MeanFieldModel(double lambda, std::size_t truncation)
+    : lambda_(lambda), trunc_(truncation) {
+  LSM_EXPECT(lambda >= 0.0, "arrival rate must be non-negative");
+  LSM_EXPECT(truncation >= 4, "truncation too small to be meaningful");
+}
+
+ode::State MeanFieldModel::empty_state() const {
+  ode::State s(dimension(), 0.0);
+  s[0] = 1.0;
+  return s;
+}
+
+ode::State MeanFieldModel::mm1_state() const {
+  ode::State s(dimension(), 0.0);
+  double v = 1.0;
+  for (std::size_t i = 0; i <= trunc_; ++i) {
+    s[i] = v;
+    v *= lambda_;
+  }
+  return s;
+}
+
+double MeanFieldModel::mean_tasks(const ode::State& s) const {
+  LSM_ASSERT(s.size() >= trunc_ + 1);
+  double acc = 0.0;
+  for (std::size_t i = trunc_; i >= 1; --i) acc += s[i];  // small-to-large sum
+  return acc;
+}
+
+double MeanFieldModel::mean_sojourn(const ode::State& s) const {
+  LSM_EXPECT(lambda_ > 0.0, "mean sojourn undefined for lambda = 0");
+  return mean_tasks(s) / lambda_;
+}
+
+void MeanFieldModel::project_segment(ode::State& s, std::size_t begin,
+                                     std::size_t end, double head) {
+  if (begin >= end) return;
+  if (head >= 0.0) s[begin] = head;
+  s[begin] = std::clamp(s[begin], 0.0, 1.0);
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    s[i] = std::clamp(s[i], 0.0, s[i - 1]);
+  }
+}
+
+void MeanFieldModel::project(ode::State& s) const {
+  project_segment(s, 0, dimension(), 1.0);
+}
+
+void MeanFieldModel::root_residual(const ode::State& s, ode::State& f) const {
+  deriv(0.0, s, f);
+  f[0] = 1.0 - s[0];
+}
+
+double simple_ws_pi2(double lambda) {
+  LSM_EXPECT(lambda >= 0.0 && lambda < 1.0, "requires 0 <= lambda < 1");
+  const double b = 1.0 + lambda;
+  return (b - std::sqrt(b * b - 4.0 * lambda * lambda)) / 2.0;
+}
+
+std::size_t default_truncation(double lambda) {
+  if (lambda <= 0.0) return 48;
+  const double pi2 = simple_ws_pi2(std::min(lambda, 0.999));
+  const double rho = lambda / (1.0 + lambda - pi2);
+  const double needed = std::log(1e-13) / std::log(rho);
+  const double clamped = std::clamp(needed + 8.0, 48.0, 512.0);
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,84 @@
+// Base class for the paper's mean-field (density-dependent jump Markov
+// process limit) work stealing models.
+//
+// State convention (paper, Section 2.1): s_i(t) is the fraction of
+// processors with at least i tasks; s_0 = 1; the s_i are non-increasing in
+// i and -> 0 as i -> infinity. We truncate the infinite family at index L
+// (s_{L+1} treated as 0), choosing L so the neglected tail mass is below
+// 1e-13 (tails decay geometrically, Sections 2.2-2.5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ode/state.hpp"
+#include "ode/system.hpp"
+
+namespace lsm::core {
+
+class MeanFieldModel : public ode::OdeSystem {
+ public:
+  /// `lambda` is the per-processor Poisson arrival rate (< 1 for stability
+  /// against the unit service rate); `truncation` is L, the largest tracked
+  /// tail index.
+  MeanFieldModel(double lambda, std::size_t truncation);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] std::size_t truncation() const noexcept { return trunc_; }
+
+  [[nodiscard]] std::size_t dimension() const override { return trunc_ + 1; }
+
+  /// Empty system: s = (1, 0, 0, ...). The paper's simulations start empty.
+  [[nodiscard]] virtual ode::State empty_state() const;
+
+  /// The M/M/1 stationary tail s_i = lambda^i; a useful alternative start
+  /// for convergence experiments (Section 4).
+  [[nodiscard]] virtual ode::State mm1_state() const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Expected number of tasks per processor, E[N] = sum_{i>=1} s_i
+  /// (models with richer state override this; e.g. tasks in transit).
+  [[nodiscard]] virtual double mean_tasks(const ode::State& s) const;
+
+  /// Expected time a task spends in the system via Little's law,
+  /// E[T] = E[N] / lambda. The quantity reported in the paper's tables.
+  [[nodiscard]] virtual double mean_sojourn(const ode::State& s) const;
+
+  /// Clamp to [0,1], pin s_0 = 1, restore the non-increasing tail property.
+  /// Overridden by models whose state is not a single monotone tail vector.
+  void project(ode::State& s) const override;
+
+  /// Jacobian half-bandwidth hint for the stiff (implicit) fixed-point
+  /// path: 0 means "not stiff, use the explicit relaxation". Models whose
+  /// service happens in c fast stages return c so solve_fixed_point can
+  /// use pseudo-transient continuation with a banded chord Jacobian.
+  [[nodiscard]] virtual std::size_t stiff_bandwidth() const { return 0; }
+
+  /// Residual map used by the Newton fixed-point polisher: identical to
+  /// deriv(0, s) except that identically-conserved rows are replaced by
+  /// constraint residuals (default: row 0 becomes 1 - s_0), keeping the
+  /// Jacobian nonsingular at the fixed point.
+  virtual void root_residual(const ode::State& s, ode::State& f) const;
+
+ protected:
+  /// Clamp + monotone projection over s[begin..end) treating s[begin] as
+  /// the segment head pinned to `head` (pass a negative head to leave the
+  /// head dynamic).
+  static void project_segment(ode::State& s, std::size_t begin,
+                              std::size_t end, double head);
+
+  double lambda_;
+  std::size_t trunc_;
+};
+
+/// Truncation index adequate for steal-on-empty style models: the fixed
+/// point tail decays at ratio lambda / (1 + lambda - pi_2) (Section 2.2),
+/// so we size L for a neglected mass below ~1e-13 (clamped to [48, 512]).
+[[nodiscard]] std::size_t default_truncation(double lambda);
+
+/// pi_2 of the simplest work stealing model, from the closed form in
+/// Section 2.2: ((1+l) - sqrt((1+l)^2 - 4 l^2)) / 2.
+[[nodiscard]] double simple_ws_pi2(double lambda);
+
+}  // namespace lsm::core

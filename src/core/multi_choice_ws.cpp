@@ -1,0 +1,63 @@
+#include "core/multi_choice_ws.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+double int_pow(double x, std::size_t d) {
+  double acc = 1.0;
+  for (std::size_t k = 0; k < d; ++k) acc *= x;
+  return acc;
+}
+}  // namespace
+
+MultiChoiceWS::MultiChoiceWS(double lambda, std::size_t choices,
+                             std::size_t threshold, std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : default_truncation(lambda) + threshold),
+      choices_(choices),
+      threshold_(threshold) {
+  LSM_EXPECT(choices >= 1, "need at least one victim choice");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");
+}
+
+std::string MultiChoiceWS::name() const {
+  return "multi-choice-ws(d=" + std::to_string(choices_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+void MultiChoiceWS::deriv(double /*t*/, const ode::State& s,
+                          ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  const double fail_prob = int_pow(1.0 - s[T], choices_);
+  const double steal_rate = s[1] - s[2];
+  ds[0] = 0.0;
+  ds[1] = lambda_ * (s[0] - s[1]) - (s[1] - s[2]) * fail_prob;
+  for (std::size_t i = 2; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    double d = lambda_ * (s[i - 1] - s[i]) - (s[i] - s_next);
+    if (i >= T) {
+      // Probability the best of d probes holds exactly i tasks.
+      const double victim_prob =
+          int_pow(1.0 - s_next, choices_) - int_pow(1.0 - s[i], choices_);
+      d -= victim_prob * steal_rate;
+    }
+    ds[i] = d;
+  }
+}
+
+double MultiChoiceWS::tail_ratio_bound(const ode::State& pi) const {
+  LSM_ASSERT(pi.size() >= 3);
+  return lambda_ /
+         (1.0 + static_cast<double>(choices_) * (lambda_ - pi[2]));
+}
+
+}  // namespace lsm::core

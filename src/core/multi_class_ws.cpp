@@ -1,0 +1,109 @@
+#include "core/multi_class_ws.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+MultiClassWS::MultiClassWS(double lambda,
+                           std::vector<ProcessorClass> classes,
+                           std::size_t threshold, std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : default_truncation(lambda) + threshold),
+      classes_(std::move(classes)),
+      threshold_(threshold) {
+  LSM_EXPECT(!classes_.empty(), "need at least one processor class");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  double total_fraction = 0.0;
+  double capacity = 0.0;
+  for (const auto& c : classes_) {
+    LSM_EXPECT(c.fraction > 0.0, "class fractions must be positive");
+    LSM_EXPECT(c.rate > 0.0, "class service rates must be positive");
+    total_fraction += c.fraction;
+    capacity += c.fraction * c.rate;
+  }
+  LSM_EXPECT(std::abs(total_fraction - 1.0) < 1e-9,
+             "class fractions must sum to 1");
+  LSM_EXPECT(lambda < capacity, "offered load exceeds aggregate capacity");
+}
+
+std::string MultiClassWS::name() const {
+  return "multi-class-ws(K=" + std::to_string(classes_.size()) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+ode::State MultiClassWS::empty_state() const {
+  ode::State s(dimension(), 0.0);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    s[index(c, 0)] = classes_[c].fraction;
+  }
+  return s;
+}
+
+void MultiClassWS::deriv(double /*t*/, const ode::State& x,
+                         ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t K = classes_.size();
+  LSM_ASSERT(x.size() == K * (L + 1) && dx.size() == K * (L + 1));
+  auto u = [&](std::size_t c, std::size_t i) {
+    return i <= L ? x[index(c, i)] : 0.0;
+  };
+
+  double steal_rate = 0.0;  // completions of last tasks across all classes
+  double heavy = 0.0;       // fraction of processors with >= T tasks
+  for (std::size_t c = 0; c < K; ++c) {
+    steal_rate += classes_[c].rate * (u(c, 1) - u(c, 2));
+    heavy += u(c, T);
+  }
+  const double fail = 1.0 - heavy;
+
+  for (std::size_t c = 0; c < K; ++c) {
+    const double mu = classes_[c].rate;
+    dx[index(c, 0)] = 0.0;
+    for (std::size_t i = 1; i <= L; ++i) {
+      double d = lambda_ * (u(c, i - 1) - u(c, i));
+      if (i == 1) {
+        d -= mu * (u(c, 1) - u(c, 2)) * fail;
+      } else {
+        d -= mu * (u(c, i) - u(c, i + 1));
+      }
+      if (i >= T) d -= steal_rate * (u(c, i) - u(c, i + 1));
+      dx[index(c, i)] = d;
+    }
+  }
+}
+
+void MultiClassWS::project(ode::State& x) const {
+  const std::size_t W = trunc_ + 1;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    project_segment(x, c * W, (c + 1) * W, classes_[c].fraction);
+  }
+}
+
+void MultiClassWS::root_residual(const ode::State& x, ode::State& f) const {
+  deriv(0.0, x, f);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    f[index(c, 0)] = classes_[c].fraction - x[index(c, 0)];
+  }
+}
+
+double MultiClassWS::mean_tasks(const ode::State& x) const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    for (std::size_t i = trunc_; i >= 1; --i) acc += x[index(c, i)];
+  }
+  return acc;
+}
+
+double MultiClassWS::mean_tasks_in_class(const ode::State& x,
+                                         std::size_t c) const {
+  LSM_EXPECT(c < classes_.size(), "class index out of range");
+  double acc = 0.0;
+  for (std::size_t i = trunc_; i >= 1; --i) acc += x[index(c, i)];
+  return acc / classes_[c].fraction;
+}
+
+}  // namespace lsm::core

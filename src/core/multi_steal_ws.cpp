@@ -1,0 +1,55 @@
+#include "core/multi_steal_ws.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+MultiStealWS::MultiStealWS(double lambda, std::size_t steal_count,
+                           std::size_t threshold, std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : default_truncation(lambda) + threshold),
+      k_(steal_count),
+      threshold_(threshold) {
+  LSM_EXPECT(steal_count >= 1, "must steal at least one task");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(2 * steal_count <= threshold,
+             "paper requires k <= T/2 so victims stay ahead of thieves");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > threshold + steal_count + 2,
+             "truncation too small for T + k");
+}
+
+std::string MultiStealWS::name() const {
+  return "multi-steal-ws(k=" + std::to_string(k_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+void MultiStealWS::deriv(double /*t*/, const ode::State& s,
+                         ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t k = k_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  auto at = [&](std::size_t i) { return i <= L ? s[i] : 0.0; };
+  const double steal_rate = s[1] - s[2];
+  const double s_T = s[T];
+  ds[0] = 0.0;
+  ds[1] = lambda_ * (s[0] - s[1]) - (s[1] - s[2]) * (1.0 - s_T);
+  for (std::size_t i = 2; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    double d = lambda_ * (s[i - 1] - s[i]) - (s[i] - s_next);
+    if (i <= k) d += steal_rate * s_T;  // successful thief jumps 0 -> k
+    if (i + k > T) {
+      // Victim with load in [max(i,T), i+k) drops below level i.
+      const double hi = at(i + k);
+      const double lo = s[std::max(i, T)];
+      d -= steal_rate * (lo - hi);
+    }
+    ds[i] = d;
+  }
+}
+
+}  // namespace lsm::core

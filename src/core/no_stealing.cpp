@@ -1,0 +1,41 @@
+#include "core/no_stealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+std::size_t pick_truncation(double lambda, std::size_t requested) {
+  if (requested != 0) return requested;
+  // Without stealing the tail ratio is lambda itself, slower than any
+  // stealing variant; size L directly from it.
+  if (lambda <= 0.0) return 48;
+  const double needed = std::log(1e-13) / std::log(lambda);
+  return static_cast<std::size_t>(std::clamp(needed + 8.0, 48.0, 2048.0));
+}
+}  // namespace
+
+NoStealing::NoStealing(double lambda, std::size_t truncation)
+    : MeanFieldModel(lambda, pick_truncation(lambda, truncation)) {
+  LSM_EXPECT(lambda < 1.0, "no-stealing model is unstable for lambda >= 1");
+}
+
+void NoStealing::deriv(double /*t*/, const ode::State& s,
+                       ode::State& ds) const {
+  const std::size_t L = trunc_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  ds[0] = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    ds[i] = lambda_ * (s[i - 1] - s[i]) - (s[i] - s_next);
+  }
+}
+
+ode::State NoStealing::analytic_fixed_point() const { return mm1_state(); }
+
+double NoStealing::analytic_sojourn() const { return 1.0 / (1.0 - lambda_); }
+
+}  // namespace lsm::core

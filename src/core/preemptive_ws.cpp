@@ -1,0 +1,57 @@
+#include "core/preemptive_ws.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+PreemptiveWS::PreemptiveWS(double lambda, std::size_t begin_steal,
+                           std::size_t threshold, std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : default_truncation(lambda) + begin_steal +
+                                       threshold),
+      begin_(begin_steal),
+      threshold_(threshold) {
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > begin_ + threshold_ + 2,
+             "truncation too small for B + T");
+}
+
+std::string PreemptiveWS::name() const {
+  return "preemptive-ws(B=" + std::to_string(begin_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+void PreemptiveWS::deriv(double /*t*/, const ode::State& s,
+                         ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t B = begin_;
+  const std::size_t T = threshold_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  auto at = [&](std::size_t i) { return i <= L ? s[i] : 0.0; };
+  ds[0] = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    const double departures = s[i] - at(i + 1);
+    double d = lambda_ * (s[i - 1] - s[i]);
+    // Completions: a processor leaving load i for i-1 retains a task iff
+    // it is steal-eligible (i-1 <= B) and finds a victim with >= i-1+T.
+    double retain = 0.0;
+    if (i - 1 <= B) retain = at(i + T - 1);
+    d -= departures * (1.0 - retain);
+    // Victim losses: thieves land at loads j <= min(B, i-T); their event
+    // rate is s_1 - s_{min(B,i-T)+2}.
+    if (i >= T) {
+      const std::size_t jmax = std::min(B, i - T);
+      d -= departures * (s[1] - at(jmax + 2));
+    }
+    ds[i] = d;
+  }
+}
+
+double PreemptiveWS::predicted_tail_ratio(const ode::State& pi) const {
+  LSM_ASSERT(pi.size() >= begin_ + 3);
+  return lambda_ / (1.0 + lambda_ - pi[begin_ + 2]);
+}
+
+}  // namespace lsm::core

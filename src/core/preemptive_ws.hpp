@@ -1,0 +1,42 @@
+// Preemptive stealing (paper, Section 2.4).
+//
+// A processor starts attempting steals before it is empty: whenever a
+// service completion leaves it with j <= B tasks it probes one random
+// victim and steals a task iff the victim has at least j + T tasks.
+// Mean-field family (general B >= 0, T >= 2; the paper's displayed
+// equations are the B + 2 <= T - 1 case of this form):
+//
+//   ds_i/dt = l(s_{i-1} - s_i)
+//             - (s_i - s_{i+1}) (1 - [i-1 <= B] s_{i+T-1})
+//             - [i >= T] (s_i - s_{i+1}) (s_1 - s_{min(B+2, i-T+2)})
+//
+// For i > B + T the tails decrease geometrically at ratio
+// l / (1 + l - pi_{B+2}) (the apparent service rate intuition of 2.2).
+#pragma once
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+class PreemptiveWS final : public MeanFieldModel {
+ public:
+  /// begin_steal = B (0 reduces to ThresholdWS); threshold = T >= 2.
+  PreemptiveWS(double lambda, std::size_t begin_steal, std::size_t threshold,
+               std::size_t truncation = 0);
+
+  void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t begin_steal() const noexcept { return begin_; }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+  /// Tail ratio predicted by Section 2.4, evaluated on a fixed point:
+  /// l / (1 + l - pi_{B+2}).
+  [[nodiscard]] double predicted_tail_ratio(const ode::State& pi) const;
+
+ private:
+  std::size_t begin_;
+  std::size_t threshold_;
+};
+
+}  // namespace lsm::core

@@ -1,0 +1,72 @@
+#include "core/rebalance_ws.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+RebalanceWS::RebalanceWS(double lambda, RateFn rate, std::size_t truncation)
+    : MeanFieldModel(
+          lambda, truncation != 0 ? truncation : default_truncation(lambda)),
+      rate_(std::move(rate)) {
+  LSM_EXPECT(static_cast<bool>(rate_), "rate function must be callable");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+}
+
+RebalanceWS::RebalanceWS(double lambda, double rate, std::size_t truncation)
+    : RebalanceWS(
+          lambda,
+          [rate](std::size_t load) { return load >= 1 ? rate : 0.0; },
+          truncation) {
+  LSM_EXPECT(rate >= 0.0, "re-balance rate must be non-negative");
+}
+
+std::string RebalanceWS::name() const { return "rebalance-ws"; }
+
+void RebalanceWS::deriv(double /*t*/, const ode::State& s,
+                        ode::State& ds) const {
+  const std::size_t L = trunc_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+
+  // Point masses p_j = s_j - s_{j+1} and per-load trigger rates.
+  std::vector<double> p(L + 1), rj(L + 1);
+  for (std::size_t j = 0; j <= L; ++j) {
+    p[j] = s[j] - (j < L ? s[j + 1] : 0.0);
+    rj[j] = rate_(j);
+  }
+
+  // diff[i] accumulates range updates of the interaction term; the actual
+  // contribution to ds_i is the prefix sum of diff over 1..i.
+  std::vector<double> diff(L + 3, 0.0);
+  for (std::size_t j = 0; j <= L; ++j) {
+    if (rj[j] == 0.0 || p[j] == 0.0) continue;
+    for (std::size_t k = 0; k <= L; ++k) {
+      if (p[k] == 0.0) continue;
+      const double wgt = rj[j] * p[j] * p[k];
+      const std::size_t lo = (j + k) / 2;        // floor
+      const std::size_t hi = (j + k + 1) / 2;    // ceil
+      const std::size_t mn = std::min(j, k);
+      const std::size_t mx = std::max(j, k);
+      // Delta_i = +1 on (mn, lo], -1 on (hi, mx] (empty when balanced).
+      if (lo > mn) {
+        diff[mn + 1] += wgt;
+        diff[std::min(lo + 1, L + 2)] -= wgt;
+      }
+      if (mx > hi) {
+        diff[std::min(hi + 1, L + 2)] -= wgt;
+        diff[std::min(mx + 1, L + 2)] += wgt;
+      }
+    }
+  }
+
+  ds[0] = 0.0;
+  double interaction = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    interaction += diff[i];
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    ds[i] = lambda_ * (s[i - 1] - s[i]) - (s[i] - s_next) + interaction;
+  }
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,45 @@
+// Pairwise load re-balancing (paper, Section 3.4, second family), modeling
+// the scheme of Rudolph, Slivkin-Allalouf and Upfal: a processor with load
+// j triggers re-balance events at exponential rate r(j); on an event it
+// picks a uniformly random partner and the two processors split their
+// combined load as evenly as possible (ceil to the initially larger one).
+//
+// Mean-field interaction term, for an ordered pair (initiator load j at
+// rate r(j), partner load k with probability p_k):
+//
+//   ds_i/dt = l(s_{i-1} - s_i) - (s_i - s_{i+1})
+//             + sum_{j,k} r(j) p_j p_k * Delta_i(j,k)
+//   Delta_i(j,k) = [floor((j+k)/2) >= i] + [ceil((j+k)/2) >= i]
+//                  - [j >= i] - [k >= i]
+//
+// evaluated in O(L^2) per derivative call with a difference-array sweep
+// (each pair perturbs s_i by +1 on (min, floor] and -1 on (ceil, max]).
+#pragma once
+
+#include <functional>
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+class RebalanceWS final : public MeanFieldModel {
+ public:
+  using RateFn = std::function<double(std::size_t load)>;
+
+  /// `rate(j)` is the re-balance trigger rate of a processor with j tasks.
+  RebalanceWS(double lambda, RateFn rate, std::size_t truncation = 0);
+
+  /// Convenience: constant trigger rate for loaded processors,
+  /// r(j) = rate for j >= 1 and r(0) = 0.
+  RebalanceWS(double lambda, double rate, std::size_t truncation = 0);
+
+  void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double rate(std::size_t load) const { return rate_(load); }
+
+ private:
+  RateFn rate_;
+};
+
+}  // namespace lsm::core

@@ -1,0 +1,118 @@
+#include "core/registry.hpp"
+
+#include "core/composed_ws.hpp"
+#include "core/erlang_ws.hpp"
+#include "core/general_arrival_ws.hpp"
+#include "core/heterogeneous_ws.hpp"
+#include "core/multi_choice_ws.hpp"
+#include "core/multi_steal_ws.hpp"
+#include "core/no_stealing.hpp"
+#include "core/preemptive_ws.hpp"
+#include "core/rebalance_ws.hpp"
+#include "core/repeated_steal_ws.hpp"
+#include "core/staged_transfer_ws.hpp"
+#include "core/threshold_ws.hpp"
+#include "core/transfer_ws.hpp"
+#include "core/work_sharing.hpp"
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+
+double get(const ModelParams& p, const std::string& key, double fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback : it->second;
+}
+
+std::size_t get_n(const ModelParams& p, const std::string& key,
+                  std::size_t fallback) {
+  const auto it = p.find(key);
+  if (it == p.end()) return fallback;
+  LSM_EXPECT(it->second >= 0.0, "parameter " + key + " must be >= 0");
+  return static_cast<std::size_t>(it->second);
+}
+
+}  // namespace
+
+std::unique_ptr<MeanFieldModel> make_model(const std::string& name,
+                                           double lambda,
+                                           const ModelParams& params) {
+  const std::size_t L = get_n(params, "L", 0);
+  const std::size_t T = get_n(params, "T", 2);
+  if (name == "no-stealing") {
+    return std::make_unique<NoStealing>(lambda, L);
+  }
+  if (name == "simple") {
+    return std::make_unique<SimpleWS>(lambda, L);
+  }
+  if (name == "threshold") {
+    return std::make_unique<ThresholdWS>(lambda, T, L);
+  }
+  if (name == "preemptive") {
+    return std::make_unique<PreemptiveWS>(lambda, get_n(params, "B", 1), T, L);
+  }
+  if (name == "repeated") {
+    return std::make_unique<RepeatedStealWS>(lambda, get(params, "r", 1.0), T,
+                                             L);
+  }
+  if (name == "multi-choice") {
+    return std::make_unique<MultiChoiceWS>(lambda, get_n(params, "d", 2), T,
+                                           L);
+  }
+  if (name == "multi-steal") {
+    const std::size_t k = get_n(params, "k", 2);
+    return std::make_unique<MultiStealWS>(lambda, k,
+                                          get_n(params, "T", 2 * k), L);
+  }
+  if (name == "composed") {
+    ComposedPolicy policy;
+    policy.threshold = T;
+    policy.choices = get_n(params, "d", 1);
+    policy.steal_count = get_n(params, "k", 1);
+    policy.begin_steal = get_n(params, "B", 0);
+    policy.retry_rate = get(params, "r", 0.0);
+    return std::make_unique<ComposedWS>(lambda, policy, L);
+  }
+  if (name == "erlang") {
+    return std::make_unique<ErlangServiceWS>(lambda, get_n(params, "c", 10),
+                                             L);
+  }
+  if (name == "transfer") {
+    return std::make_unique<TransferTimeWS>(lambda, get(params, "r", 0.25), T,
+                                            L);
+  }
+  if (name == "staged-transfer") {
+    return std::make_unique<StagedTransferWS>(
+        lambda, get(params, "r", 0.25), get_n(params, "c", 4), T, L);
+  }
+  if (name == "rebalance") {
+    return std::make_unique<RebalanceWS>(lambda, get(params, "r", 1.0), L);
+  }
+  if (name == "heterogeneous") {
+    return std::make_unique<HeterogeneousWS>(
+        lambda, get(params, "f", 0.25), get(params, "mu_f", 2.0),
+        get(params, "mu_s", 0.8), T, L);
+  }
+  if (name == "sharing") {
+    return std::make_unique<WorkSharingWS>(lambda, get_n(params, "S", 2), L);
+  }
+  if (name == "spawning") {
+    return std::make_unique<GeneralArrivalWS>(GeneralArrivalWS::spawning(
+        lambda, get(params, "int", 0.0), T, L));
+  }
+  throw util::Error("unknown model: " + name +
+                    " (see lsm::core::model_names())");
+}
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> names = {
+      "no-stealing", "simple",          "threshold",  "preemptive",
+      "repeated",    "multi-choice",    "multi-steal", "composed",
+      "erlang",      "transfer",        "staged-transfer", "rebalance",
+      "heterogeneous", "spawning", "sharing",
+  };
+  return names;
+}
+
+}  // namespace lsm::core

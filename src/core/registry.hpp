@@ -1,0 +1,36 @@
+// Name-based model factory so tools and scripts can build any model
+// variant from strings ("threshold", T=4) without compiling against each
+// class. Parameter keys follow the paper's symbols.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+/// Extra parameters by short name; every entry is optional and defaulted:
+///   T (threshold, 2)    S (sharing threshold, 2)
+///   d (choices, 1)      k (steal count, 1)
+///   B (begin steal, 0)  r (retry/transfer/rebalance rate, model default)
+///   c (stages, 10)      f (fast fraction, 0.25)
+///   mu_f / mu_s (2.0 / 0.8)   int (internal spawn rate, 0)
+///   L (truncation override, auto)
+using ModelParams = std::map<std::string, double>;
+
+/// Builds a model by name. Known names (see model_names()):
+///   no-stealing, simple, threshold, preemptive, repeated, multi-choice,
+///   multi-steal, composed, erlang, transfer, staged-transfer, rebalance,
+///   heterogeneous, spawning, sharing
+/// Throws util::Error for an unknown name, util::LogicError for invalid
+/// parameter combinations (propagated from the model's constructor).
+[[nodiscard]] std::unique_ptr<MeanFieldModel> make_model(
+    const std::string& name, double lambda, const ModelParams& params = {});
+
+/// All names make_model accepts, in presentation order.
+[[nodiscard]] const std::vector<std::string>& model_names();
+
+}  // namespace lsm::core

@@ -1,0 +1,52 @@
+#include "core/repeated_steal_ws.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+RepeatedStealWS::RepeatedStealWS(double lambda, double retry_rate,
+                                 std::size_t threshold, std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : default_truncation(lambda) + threshold),
+      retry_rate_(retry_rate),
+      threshold_(threshold) {
+  LSM_EXPECT(retry_rate >= 0.0, "retry rate must be non-negative");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");
+}
+
+std::string RepeatedStealWS::name() const {
+  return "repeated-steal-ws(r=" + std::to_string(retry_rate_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+void RepeatedStealWS::deriv(double /*t*/, const ode::State& s,
+                            ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  const double s_T = s[T];
+  const double empty = s[0] - s[1];
+  // Combined rate of steal events hitting heavy victims: on-empty attempts
+  // from completing processors plus retries from already-empty ones.
+  const double attempt_rate = (s[1] - s[2]) + retry_rate_ * empty;
+  ds[0] = 0.0;
+  ds[1] = lambda_ * (s[0] - s[1]) + retry_rate_ * empty * s_T -
+          (s[1] - s[2]) * (1.0 - s_T);
+  for (std::size_t i = 2; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    double d = lambda_ * (s[i - 1] - s[i]) - (s[i] - s_next);
+    if (i >= T) d -= (s[i] - s_next) * attempt_rate;
+    ds[i] = d;
+  }
+}
+
+double RepeatedStealWS::predicted_tail_ratio(const ode::State& pi) const {
+  LSM_ASSERT(pi.size() >= 3);
+  return lambda_ /
+         (1.0 + retry_rate_ * (1.0 - lambda_) + lambda_ - pi[2]);
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,41 @@
+// Repeated steal attempts (paper, Section 2.5).
+//
+// As in the Blumofe-Leiserson WS algorithm, a thief that fails keeps
+// retrying: empty processors make steal attempts at exponential rate r
+// against a victim threshold T. Mean-field family:
+//
+//   ds_1/dt = l(s_0 - s_1) + r (s_0 - s_1) s_T - (s_1 - s_2)(1 - s_T)
+//   ds_i/dt = l(s_{i-1} - s_i) - (s_i - s_{i+1})             2 <= i < T
+//   ds_i/dt = l(s_{i-1} - s_i) - (s_i - s_{i+1})
+//             - (s_i - s_{i+1}) [(s_1 - s_2) + r (s_0 - s_1)]    i >= T
+//
+// At the fixed point the tails beyond T decrease geometrically at
+// l / (1 + r(1 - l) + l - pi_2); as r -> infinity pi_T -> 0.
+#pragma once
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+class RepeatedStealWS final : public MeanFieldModel {
+ public:
+  /// retry_rate = r >= 0 (r = 0 reduces to ThresholdWS); threshold T >= 2.
+  RepeatedStealWS(double lambda, double retry_rate, std::size_t threshold,
+                  std::size_t truncation = 0);
+
+  void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double retry_rate() const noexcept { return retry_rate_; }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+  /// Section 2.5 tail ratio evaluated on a fixed point:
+  /// l / (1 + r(1 - l) + l - pi_2).
+  [[nodiscard]] double predicted_tail_ratio(const ode::State& pi) const;
+
+ private:
+  double retry_rate_;
+  std::size_t threshold_;
+};
+
+}  // namespace lsm::core

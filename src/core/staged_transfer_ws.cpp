@@ -1,0 +1,105 @@
+#include "core/staged_transfer_ws.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+StagedTransferWS::StagedTransferWS(double lambda, double transfer_rate,
+                                   std::size_t stages, std::size_t threshold,
+                                   std::size_t truncation)
+    // Same slower-tail consideration as TransferTimeWS.
+    : MeanFieldModel(lambda,
+                     truncation != 0
+                         ? truncation
+                         : 5 * default_truncation(lambda) / 2 + threshold),
+      rate_(transfer_rate),
+      stages_(stages),
+      threshold_(threshold) {
+  LSM_EXPECT(transfer_rate > 0.0, "transfer rate must be positive");
+  LSM_EXPECT(stages >= 1, "need at least one transfer stage");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");
+}
+
+std::string StagedTransferWS::name() const {
+  return "staged-transfer-ws(r=" + std::to_string(rate_) +
+         ",c=" + std::to_string(stages_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+void StagedTransferWS::deriv(double /*t*/, const ode::State& x,
+                             ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t c = stages_;
+  const std::size_t W = L + 1;
+  LSM_ASSERT(x.size() == (c + 1) * W && dx.size() == (c + 1) * W);
+  auto s = [&](std::size_t i) { return i <= L ? x[i] : 0.0; };
+  auto w = [&](std::size_t m, std::size_t i) {
+    return i <= L ? x[m * W + i] : 0.0;
+  };
+  const double stage_rate = static_cast<double>(c) * rate_;
+
+  const double thief_rate = s(1) - s(2);
+  double heavy = s(T);  // any processor with >= T tasks may be a victim
+  for (std::size_t m = 1; m <= c; ++m) heavy += w(m, T);
+  const double start_wait = thief_rate * heavy;
+
+  // --- s block ---
+  dx[0] = stage_rate * w(1, 0) - start_wait;
+  for (std::size_t i = 1; i <= L; ++i) {
+    double d = lambda_ * (s(i - 1) - s(i)) + stage_rate * w(1, i - 1) -
+               (s(i) - s(i + 1));
+    if (i >= T) d -= (s(i) - s(i + 1)) * thief_rate;
+    dx[i] = d;
+  }
+
+  // --- w blocks, m = c (fed by steal starts) down to m = 1 (delivers) ---
+  for (std::size_t m = 1; m <= c; ++m) {
+    const double in0 =
+        (m == c) ? start_wait : stage_rate * w(m + 1, 0);
+    dx[m * W] = in0 - stage_rate * w(m, 0);
+    for (std::size_t i = 1; i <= L; ++i) {
+      const double inflow =
+          (m == c) ? 0.0 : stage_rate * w(m + 1, i);
+      double d = lambda_ * (w(m, i - 1) - w(m, i)) + inflow -
+                 stage_rate * w(m, i) - (w(m, i) - w(m, i + 1));
+      if (i >= T) d -= (w(m, i) - w(m, i + 1)) * thief_rate;
+      dx[m * W + i] = d;
+    }
+  }
+}
+
+void StagedTransferWS::project(ode::State& x) const {
+  const std::size_t W = trunc_ + 1;
+  for (std::size_t m = 0; m <= stages_; ++m) {
+    project_segment(x, m * W, (m + 1) * W, -1.0);
+  }
+}
+
+void StagedTransferWS::root_residual(const ode::State& x,
+                                     ode::State& f) const {
+  deriv(0.0, x, f);
+  // Total class mass s_0 + sum_m w^{(m)}_0 = 1 is conserved; replace the
+  // redundant w^{(1)}_0 row with the constraint.
+  double mass = x[0];
+  for (std::size_t m = 1; m <= stages_; ++m) mass += x[w_index(m, 0)];
+  f[w_index(1, 0)] = 1.0 - mass;
+}
+
+double StagedTransferWS::mean_tasks(const ode::State& x) const {
+  const std::size_t W = trunc_ + 1;
+  LSM_ASSERT(x.size() == (stages_ + 1) * W);
+  double acc = 0.0;
+  for (std::size_t m = 1; m <= stages_; ++m) {
+    acc += x[m * W];  // one in-transit task per waiting processor
+  }
+  for (std::size_t i = trunc_; i >= 1; --i) {
+    acc += x[i];
+    for (std::size_t m = 1; m <= stages_; ++m) acc += x[m * W + i];
+  }
+  return acc;
+}
+
+}  // namespace lsm::core

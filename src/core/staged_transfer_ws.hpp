@@ -1,0 +1,57 @@
+// Transfer latency through Erlang stages (paper, Section 3.2 final remark:
+// the transfer time "can also be modeled as a fixed constant, or some
+// other distribution, using the technique of Section 3.1").
+//
+// A transfer consists of c stages, each exponential with rate c*r, so the
+// total has mean 1/r and variance 1/(c r^2) -> a constant transfer time
+// as c grows. State: the non-waiting tail vector s_i plus one waiting
+// tail vector w^{(m)}_i per remaining-stage count m = 1..c.
+//
+//   steal start   : s -> w^{(c)} at rate (s_1 - s_2)(s_T + sum_m w^{(m)}_T)
+//   stage progress: w^{(m)} -> w^{(m-1)} at rate c r   (m >= 2)
+//   delivery      : w^{(1)} -> s gaining one task at rate c r
+//
+// c = 1 reduces exactly to TransferTimeWS.
+#pragma once
+
+#include "core/model.hpp"
+
+namespace lsm::core {
+
+class StagedTransferWS final : public MeanFieldModel {
+ public:
+  /// transfer_rate = r (mean transfer 1/r), `stages` = c >= 1,
+  /// threshold T >= 2. truncation = 0 picks an automatic per-vector L.
+  StagedTransferWS(double lambda, double transfer_rate, std::size_t stages,
+                   std::size_t threshold, std::size_t truncation = 0);
+
+  /// Packed state: [s | w^(1) | ... | w^(c)], each of length L + 1.
+  [[nodiscard]] std::size_t dimension() const override {
+    return (stages_ + 1) * (trunc_ + 1);
+  }
+
+  void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] std::string name() const override;
+  void project(ode::State& s) const override;
+  void root_residual(const ode::State& s, ode::State& f) const override;
+
+  [[nodiscard]] double transfer_rate() const noexcept { return rate_; }
+  [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+  /// E[N]: queued tasks in all classes plus one in-transit task per
+  /// waiting processor.
+  [[nodiscard]] double mean_tasks(const ode::State& s) const override;
+
+  /// Index of w^{(m)}_i in the packed state (m in 1..c).
+  [[nodiscard]] std::size_t w_index(std::size_t m, std::size_t i) const {
+    return m * (trunc_ + 1) + i;
+  }
+
+ private:
+  double rate_;
+  std::size_t stages_;
+  std::size_t threshold_;
+};
+
+}  // namespace lsm::core

@@ -1,0 +1,90 @@
+#include "core/threshold_ws.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+ThresholdWS::ThresholdWS(double lambda, std::size_t threshold,
+                         std::size_t truncation)
+    : MeanFieldModel(lambda,
+                     truncation != 0 ? truncation
+                                     : default_truncation(lambda) + threshold),
+      threshold_(threshold) {
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");
+}
+
+std::string ThresholdWS::name() const {
+  return "threshold-ws(T=" + std::to_string(threshold_) + ")";
+}
+
+void ThresholdWS::deriv(double /*t*/, const ode::State& s,
+                        ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  const double s_T = s[T];
+  const double steal_rate = s[1] - s[2];  // processors emptying per unit time
+  ds[0] = 0.0;
+  // i = 1: the final task is effectively lost only if the steal fails.
+  ds[1] = lambda_ * (s[0] - s[1]) - (s[1] - s[2]) * (1.0 - s_T);
+  for (std::size_t i = 2; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    double d = lambda_ * (s[i - 1] - s[i]) - (s[i] - s_next);
+    if (i >= T) d -= (s[i] - s_next) * steal_rate;  // victims of thieves
+    ds[i] = d;
+  }
+}
+
+double ThresholdWS::analytic_pi_threshold() const {
+  const double b = 1.0 + lambda_;
+  const double disc = b * b - 4.0 * std::pow(lambda_, static_cast<double>(threshold_));
+  LSM_ASSERT(disc >= 0.0);
+  return (b - std::sqrt(disc)) / 2.0;
+}
+
+double ThresholdWS::analytic_pi2() const {
+  const double x = analytic_pi_threshold();
+  return lambda_ * (lambda_ - x) / (1.0 - x);
+}
+
+double ThresholdWS::analytic_tail_ratio() const {
+  return lambda_ / (1.0 + lambda_ - analytic_pi2());
+}
+
+ode::State ThresholdWS::analytic_fixed_point() const {
+  const double x = analytic_pi_threshold();
+  const double B = 1.0 / (1.0 - x);
+  const double A = -lambda_ * x / (1.0 - x);
+  const double rho = analytic_tail_ratio();
+  ode::State pi(dimension(), 0.0);
+  pi[0] = 1.0;
+  double lam_pow = lambda_;
+  for (std::size_t i = 1; i <= std::min(threshold_, trunc_); ++i) {
+    pi[i] = A + B * lam_pow;
+    lam_pow *= lambda_;
+  }
+  for (std::size_t i = threshold_ + 1; i <= trunc_; ++i) {
+    pi[i] = pi[i - 1] * rho;
+  }
+  return pi;
+}
+
+double ThresholdWS::analytic_sojourn() const {
+  // E[N] = sum_{i=1}^{T-1} (A + B l^i)  +  pi_T / (1 - rho); E[T] = E[N]/l.
+  const double x = analytic_pi_threshold();
+  const double B = 1.0 / (1.0 - x);
+  const double A = -lambda_ * x / (1.0 - x);
+  const double rho = analytic_tail_ratio();
+  const auto T = static_cast<double>(threshold_);
+  const double geo_head =
+      lambda_ * (1.0 - std::pow(lambda_, T - 1.0)) / (1.0 - lambda_);
+  const double head = A * (T - 1.0) + B * geo_head;
+  const double tail = x / (1.0 - rho);
+  return (head + tail) / lambda_;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,81 @@
+#include "core/transfer_ws.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+TransferTimeWS::TransferTimeWS(double lambda, double transfer_rate,
+                               std::size_t threshold, std::size_t truncation)
+    // Transfer latency throttles the steal rate, so the tails decay
+    // noticeably slower than in the instant-steal models; inflate the
+    // automatic truncation accordingly (verified against L-doubling).
+    : MeanFieldModel(lambda,
+                     truncation != 0
+                         ? truncation
+                         : 5 * default_truncation(lambda) / 2 + threshold),
+      rate_(transfer_rate),
+      threshold_(threshold) {
+  LSM_EXPECT(transfer_rate > 0.0, "transfer rate must be positive");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");
+}
+
+std::string TransferTimeWS::name() const {
+  return "transfer-ws(r=" + std::to_string(rate_) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+void TransferTimeWS::deriv(double /*t*/, const ode::State& x,
+                           ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t W = L + 1;  // offset of the w block
+  LSM_ASSERT(x.size() == 2 * W && dx.size() == 2 * W);
+  auto s = [&](std::size_t i) { return i <= L ? x[i] : 0.0; };
+  auto w = [&](std::size_t i) { return i <= L ? x[W + i] : 0.0; };
+
+  const double thief_rate = s(1) - s(2);       // procs emptying (s-class)
+  const double success = s(T) + w(T);          // victim has >= T tasks
+  const double start_wait = thief_rate * success;  // s -> w transitions
+
+  dx[0] = rate_ * w(0) - start_wait;
+  for (std::size_t i = 1; i <= L; ++i) {
+    double d = lambda_ * (s(i - 1) - s(i)) + rate_ * w(i - 1) -
+               (s(i) - s(i + 1));
+    if (i >= T) d -= (s(i) - s(i + 1)) * thief_rate;
+    dx[i] = d;
+  }
+
+  dx[W] = -rate_ * w(0) + start_wait;
+  for (std::size_t i = 1; i <= L; ++i) {
+    double d = lambda_ * (w(i - 1) - w(i)) - rate_ * w(i) -
+               (w(i) - w(i + 1));
+    if (i >= T) d -= (w(i) - w(i + 1)) * thief_rate;
+    dx[W + i] = d;
+  }
+}
+
+void TransferTimeWS::project(ode::State& x) const {
+  const std::size_t W = trunc_ + 1;
+  // Both blocks are monotone tails with dynamic heads in [0,1].
+  project_segment(x, 0, W, -1.0);
+  project_segment(x, W, 2 * W, -1.0);
+}
+
+void TransferTimeWS::root_residual(const ode::State& x, ode::State& f) const {
+  deriv(0.0, x, f);
+  // d(s_0 + w_0)/dt == 0 identically makes the Jacobian singular; replace
+  // the redundant w_0 row with the conservation constraint itself.
+  f[w_index(0)] = 1.0 - x[0] - x[w_index(0)];
+}
+
+double TransferTimeWS::mean_tasks(const ode::State& x) const {
+  const std::size_t W = trunc_ + 1;
+  LSM_ASSERT(x.size() == 2 * W);
+  double acc = x[W];  // w_0: one in-transit task per waiting processor
+  for (std::size_t i = trunc_; i >= 1; --i) acc += x[i] + x[W + i];
+  return acc;
+}
+
+}  // namespace lsm::core

@@ -1,0 +1,59 @@
+#include "core/work_sharing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+std::size_t pick_truncation(double lambda, std::size_t requested) {
+  if (requested != 0) return requested;
+  // Below S the profile decays roughly like the M/M/1 tail (ratio about
+  // lambda); size for that, like the no-stealing model.
+  const double needed =
+      lambda > 0.0 ? std::log(1e-13) / std::log(lambda) : 48.0;
+  return static_cast<std::size_t>(std::clamp(needed + 8.0, 48.0, 2048.0));
+}
+}  // namespace
+
+WorkSharingWS::WorkSharingWS(double lambda, std::size_t share_threshold,
+                             std::size_t truncation)
+    : MeanFieldModel(lambda, pick_truncation(lambda, truncation)),
+      threshold_(share_threshold) {
+  LSM_EXPECT(share_threshold >= 1, "sharing threshold must be at least 1");
+  LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
+  LSM_EXPECT(trunc_ > share_threshold + 2,
+             "truncation too small for threshold");
+}
+
+std::string WorkSharingWS::name() const {
+  return "work-sharing(S=" + std::to_string(threshold_) + ")";
+}
+
+void WorkSharingWS::deriv(double /*t*/, const ode::State& s,
+                          ode::State& ds) const {
+  const std::size_t L = trunc_;
+  const std::size_t S = threshold_;
+  LSM_ASSERT(s.size() == L + 1 && ds.size() == L + 1);
+  const double forwarded = lambda_ * s[S];  // per-processor forwarded stream
+  ds[0] = 0.0;
+  for (std::size_t i = 1; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    const double direct = (i - 1 < S) ? lambda_ : 0.0;
+    ds[i] = (direct + forwarded) * (s[i - 1] - s[i]) - (s[i] - s_next);
+  }
+}
+
+double WorkSharingWS::message_rate(const ode::State& s) const {
+  LSM_ASSERT(s.size() > threshold_);
+  return lambda_ * s[threshold_];
+}
+
+double stealing_message_rate(const ode::State& s, double retry_rate) {
+  LSM_ASSERT(s.size() >= 3);
+  return (s[1] - s[2]) + retry_rate * (s[0] - s[1]);
+}
+
+}  // namespace lsm::core

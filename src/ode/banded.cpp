@@ -1,0 +1,96 @@
+#include "ode/banded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsm::ode {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku)
+    : n_(n), kl_(kl), ku_(ku), data_((2 * kl + ku + 1) * n, 0.0) {
+  LSM_EXPECT(n >= 1, "matrix must be non-empty");
+  LSM_EXPECT(kl < n && ku < n, "bandwidths must be below the dimension");
+}
+
+double BandedMatrix::get(std::size_t i, std::size_t j) const noexcept {
+  if (i >= n_ || j >= n_ || !in_storage(i, j)) return 0.0;
+  return data_[index(i, j)];
+}
+
+void BandedMatrix::set(std::size_t i, std::size_t j, double v) {
+  LSM_EXPECT(i < n_ && j < n_, "index out of range");
+  LSM_EXPECT(in_storage(i, j), "entry outside the stored band");
+  data_[index(i, j)] = v;
+}
+
+void BandedMatrix::add(std::size_t i, std::size_t j, double v) {
+  LSM_EXPECT(i < n_ && j < n_, "index out of range");
+  LSM_EXPECT(in_storage(i, j), "entry outside the stored band");
+  data_[index(i, j)] += v;
+}
+
+BandedLuSolver::BandedLuSolver(BandedMatrix a)
+    : lu_(std::move(a)), pivot_(lu_.n_) {
+  const std::size_t n = lu_.n_;
+  const std::size_t kl = lu_.kl_;
+  const std::size_t ku_eff = lu_.ku_ + kl;  // fill region counts as upper band
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot among rows k .. min(k + kl, n-1) in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_.get(k, k));
+    const std::size_t row_max = std::min(k + kl, n - 1);
+    for (std::size_t r = k + 1; r <= row_max; ++r) {
+      const double v = std::abs(lu_.get(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw util::Error("BandedLuSolver: singular matrix");
+    pivot_[k] = pivot;
+    const std::size_t col_max = std::min(k + ku_eff, n - 1);
+    if (pivot != k) {
+      for (std::size_t c = k; c <= col_max; ++c) {
+        const double tmp = lu_.get(pivot, c);
+        lu_.set(pivot, c, lu_.get(k, c));
+        lu_.set(k, c, tmp);
+      }
+    }
+    const double inv = 1.0 / lu_.get(k, k);
+    for (std::size_t r = k + 1; r <= row_max; ++r) {
+      const double factor = lu_.get(r, k) * inv;
+      lu_.set(r, k, factor);  // store the multiplier in place of the zero
+      if (factor != 0.0) {
+        for (std::size_t c = k + 1; c <= col_max; ++c) {
+          lu_.add(r, c, -factor * lu_.get(k, c));
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> BandedLuSolver::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.n_;
+  LSM_EXPECT(b.size() == n, "rhs has wrong dimension");
+  const std::size_t kl = lu_.kl_;
+  const std::size_t ku_eff = lu_.ku_ + kl;
+  // Forward: apply row swaps and the unit-lower multipliers.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivot_[k] != k) std::swap(b[k], b[pivot_[k]]);
+    const std::size_t row_max = std::min(k + kl, n - 1);
+    for (std::size_t r = k + 1; r <= row_max; ++r) {
+      b[r] -= lu_.get(r, k) * b[k];
+    }
+  }
+  // Back substitution on the upper factor.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    const std::size_t col_max = std::min(ii + ku_eff, n - 1);
+    for (std::size_t j = ii + 1; j <= col_max; ++j) {
+      acc -= lu_.get(ii, j) * b[j];
+    }
+    b[ii] = acc / lu_.get(ii, ii);
+  }
+  return b;
+}
+
+}  // namespace lsm::ode

@@ -1,0 +1,62 @@
+// Banded dense linear algebra (LAPACK-style band storage) for the stiff
+// implicit steppers: the mean-field Jacobians are dominated by a narrow
+// band (nearest-neighbor and +/- c stage coupling), so an O(n b^2) banded
+// factorization replaces the O(n^3) dense one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+/// n x n matrix with kl subdiagonals and ku superdiagonals. Storage holds
+/// kl extra superdiagonals for the fill-in produced by partial pivoting
+/// (the standard *gbtrf layout).
+class BandedMatrix {
+ public:
+  BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t lower() const noexcept { return kl_; }
+  [[nodiscard]] std::size_t upper() const noexcept { return ku_; }
+
+  /// Access A(i, j); j must satisfy |i - j| within the declared bands
+  /// (plus pivot fill for internal use). Out-of-band reads return 0.
+  [[nodiscard]] double get(std::size_t i, std::size_t j) const noexcept;
+  void set(std::size_t i, std::size_t j, double v);
+  void add(std::size_t i, std::size_t j, double v);
+
+ private:
+  friend class BandedLuSolver;
+
+  [[nodiscard]] bool in_storage(std::size_t i, std::size_t j) const noexcept {
+    // Stored band: j - i in [-kl, ku + kl] (fill region included).
+    const auto d = static_cast<std::ptrdiff_t>(j) - static_cast<std::ptrdiff_t>(i);
+    return d >= -static_cast<std::ptrdiff_t>(kl_) &&
+           d <= static_cast<std::ptrdiff_t>(ku_ + kl_);
+  }
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const noexcept {
+    // Row i of column j sits at band row (ku + kl + i - j).
+    return (kl_ + ku_ + i - j) * n_ + j;
+  }
+
+  std::size_t n_, kl_, ku_;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a banded matrix.
+class BandedLuSolver {
+ public:
+  /// Factors `a` (consumed). Throws util::Error on singularity.
+  explicit BandedLuSolver(BandedMatrix a);
+
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+ private:
+  BandedMatrix lu_;
+  std::vector<std::size_t> pivot_;  // pivot row chosen at each step
+};
+
+}  // namespace lsm::ode

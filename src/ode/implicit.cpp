@@ -1,0 +1,172 @@
+#include "ode/implicit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+namespace {
+
+BandedMatrix fd_per_column(const OdeSystem& sys, double t, const State& s,
+                           std::size_t kl, std::size_t ku, double eps) {
+  const std::size_t n = s.size();
+  BandedMatrix jac(n, kl, ku);
+  State f0(n), f1(n);
+  sys.deriv(t, s, f0);
+  State pert = s;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = eps * std::max(1.0, std::abs(s[j]));
+    pert[j] = s[j] + h;
+    sys.deriv(t, pert, f1);
+    pert[j] = s[j];
+    const double inv_h = 1.0 / h;
+    const std::size_t i_lo = j >= ku ? j - ku : 0;
+    const std::size_t i_hi = std::min(j + kl, n - 1);
+    for (std::size_t i = i_lo; i <= i_hi; ++i) {
+      jac.set(i, j, (f1[i] - f0[i]) * inv_h);
+    }
+  }
+  return jac;
+}
+
+BandedMatrix fd_grouped(const OdeSystem& sys, double t, const State& s,
+                        std::size_t kl, std::size_t ku, double eps) {
+  const std::size_t n = s.size();
+  BandedMatrix jac(n, kl, ku);
+  State f0(n), f1(n);
+  sys.deriv(t, s, f0);
+  // Columns a full bandwidth apart touch disjoint row ranges, so each
+  // group of them shares one perturbed evaluation. Only exact when the
+  // Jacobian really is banded.
+  const std::size_t groups = kl + ku + 1;
+  State pert = s;
+  std::vector<double> h(n, 0.0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t j = g; j < n; j += groups) {
+      h[j] = eps * std::max(1.0, std::abs(s[j]));
+      pert[j] = s[j] + h[j];
+    }
+    sys.deriv(t, pert, f1);
+    for (std::size_t j = g; j < n; j += groups) {
+      const std::size_t i_lo = j >= ku ? j - ku : 0;
+      const std::size_t i_hi = std::min(j + kl, n - 1);
+      const double inv_h = 1.0 / h[j];
+      for (std::size_t i = i_lo; i <= i_hi; ++i) {
+        jac.set(i, j, (f1[i] - f0[i]) * inv_h);
+      }
+      pert[j] = s[j];
+    }
+  }
+  return jac;
+}
+
+}  // namespace
+
+BandedMatrix banded_fd_jacobian(const OdeSystem& sys, double t,
+                                const State& s, std::size_t kl,
+                                std::size_t ku, FdMode mode, double eps) {
+  LSM_EXPECT(kl < s.size() && ku < s.size(),
+             "bandwidths must be below the dimension");
+  return mode == FdMode::PerColumn ? fd_per_column(sys, t, s, kl, ku, eps)
+                                   : fd_grouped(sys, t, s, kl, ku, eps);
+}
+
+bool ImplicitEulerBanded::newton_solve(const OdeSystem& sys, double t,
+                                       const State& s, double h, State& out) {
+  const std::size_t n = s.size();
+  // Assemble and factor M = I - h J from the cached Jacobian band.
+  BandedMatrix m(n, opts_.kl, opts_.ku);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j_lo = i >= opts_.kl ? i - opts_.kl : 0;
+    const std::size_t j_hi = std::min(i + opts_.ku, n - 1);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      m.set(i, j, (i == j ? 1.0 : 0.0) - h * jac_->get(i, j));
+    }
+  }
+  BandedLuSolver lu(std::move(m));
+
+  out = s;
+  double prev_update = 1e300;
+  for (std::size_t it = 0; it < opts_.max_newton; ++it) {
+    sys.deriv(t + h, out, f_);
+    for (std::size_t i = 0; i < n; ++i) {
+      residual_[i] = out[i] - s[i] - h * f_[i];
+    }
+    const std::vector<double> delta = lu.solve(residual_);
+    double update = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] -= delta[i];
+      update = std::max(update, std::abs(delta[i]));
+    }
+    if (update < opts_.newton_tol) return true;
+    if (it > 1 && update > 0.9 * prev_update) return false;  // not contracting
+    prev_update = update;
+  }
+  return false;
+}
+
+bool ImplicitEulerBanded::step(const OdeSystem& sys, double t, State& s,
+                               double h) {
+  f_.resize(s.size());
+  residual_.resize(s.size());
+  const bool stale = jac_ && steps_since_jac_ >= opts_.refresh_every;
+  if (!jac_ || stale) {
+    jac_ = banded_fd_jacobian(sys, t, s, opts_.kl, opts_.ku, opts_.fd_mode);
+    steps_since_jac_ = 0;
+  }
+  if (newton_solve(sys, t, s, h, trial_)) {
+    s = trial_;
+    sys.project(s);
+    ++steps_since_jac_;
+    return true;
+  }
+  // One retry with a fresh Jacobian before reporting failure.
+  if (steps_since_jac_ > 0) {
+    jac_ = banded_fd_jacobian(sys, t, s, opts_.kl, opts_.ku, opts_.fd_mode);
+    steps_since_jac_ = 0;
+    if (newton_solve(sys, t, s, h, trial_)) {
+      s = trial_;
+      sys.project(s);
+      ++steps_since_jac_;
+      return true;
+    }
+  }
+  return false;
+}
+
+StiffRelaxResult stiff_relax_to_fixed_point(const OdeSystem& sys, State s0,
+                                            const StiffRelaxOptions& opts) {
+  LSM_EXPECT(s0.size() == sys.dimension(), "state dimension mismatch");
+  ImplicitEulerBanded stepper(opts.implicit);
+  State f(s0.size());
+  sys.project(s0);
+  double h = opts.h0;
+  double t = 0.0;
+  StiffRelaxResult out;
+  out.state = std::move(s0);
+
+  for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    sys.deriv(t, out.state, f);
+    out.deriv_norm = norm_linf(f);
+    if (out.deriv_norm < opts.deriv_tol) {
+      out.steps = step;
+      return out;
+    }
+    if (stepper.step(sys, t, out.state, h)) {
+      t += h;
+      h = std::min(h * 2.0, opts.h_max);  // pseudo-transient continuation
+    } else {
+      h *= 0.25;
+      stepper.invalidate();
+      if (h < 1e-8) {
+        throw util::Error("stiff_relax_to_fixed_point: step underflow");
+      }
+    }
+  }
+  throw util::Error("stiff_relax_to_fixed_point: exceeded max_steps (norm=" +
+                    std::to_string(out.deriv_norm) + ")");
+}
+
+}  // namespace lsm::ode

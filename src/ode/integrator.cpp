@@ -1,0 +1,65 @@
+#include "ode/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+double integrate_fixed(const OdeSystem& sys, Stepper& stepper, State& s,
+                       double t0, double t1, double dt,
+                       const Observer& observe) {
+  LSM_EXPECT(dt > 0.0, "fixed step size must be positive");
+  LSM_EXPECT(t1 >= t0, "integration interval is inverted");
+  double t = t0;
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    stepper.step(sys, t, s, h);
+    sys.project(s);
+    t += h;
+    if (observe && !observe(t, s)) break;
+  }
+  return t;
+}
+
+double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
+                          const AdaptiveOptions& opts, const Observer& observe) {
+  LSM_EXPECT(t1 >= t0, "integration interval is inverted");
+  CashKarp45 ck;
+  State proposal;
+  double t = t0;
+  double dt = std::min(opts.dt_init, std::max(t1 - t0, opts.dt_min));
+  constexpr double kSafety = 0.9;
+  constexpr double kShrinkExp = -0.25;  // error ~ dt^5 on rejection
+  constexpr double kGrowExp = -0.20;
+  std::size_t steps = 0;
+  while (t < t1) {
+    if (++steps > opts.max_steps) {
+      throw util::Error("integrate_adaptive: exceeded max_steps");
+    }
+    const double h = std::min(dt, t1 - t);
+    const auto res = ck.attempt(sys, t, s, h, opts.atol, opts.rtol, proposal);
+    if (res.error_norm <= 1.0) {
+      s = std::move(proposal);
+      proposal.clear();
+      sys.project(s);
+      t += h;
+      const double grow =
+          res.error_norm > 0.0
+              ? kSafety * std::pow(res.error_norm, kGrowExp)
+              : 5.0;
+      dt = std::clamp(h * std::min(grow, 5.0), opts.dt_min, opts.dt_max);
+      if (observe && !observe(t, s)) break;
+    } else {
+      const double shrink = kSafety * std::pow(res.error_norm, kShrinkExp);
+      dt = h * std::max(shrink, 0.1);
+      if (dt < opts.dt_min) {
+        throw util::Error("integrate_adaptive: step size underflow");
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace lsm::ode

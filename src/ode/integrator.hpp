@@ -1,0 +1,39 @@
+// Time-integration drivers over the steppers: fixed-step with observer
+// callbacks, and an adaptive Cash-Karp 4(5) driver with PI-free classical
+// step-size control.
+#pragma once
+
+#include <functional>
+
+#include "ode/steppers.hpp"
+#include "ode/system.hpp"
+
+namespace lsm::ode {
+
+/// Called after every accepted step with (t, state). Return false to stop
+/// integration early.
+using Observer = std::function<bool(double, const State&)>;
+
+/// Integrates from t0 to t1 with fixed steps of size dt (last step clipped).
+/// The system's project() runs after each step. Returns the final time
+/// (== t1 unless the observer stopped early).
+double integrate_fixed(const OdeSystem& sys, Stepper& stepper, State& s,
+                       double t0, double t1, double dt,
+                       const Observer& observe = nullptr);
+
+struct AdaptiveOptions {
+  double atol = 1e-10;
+  double rtol = 1e-8;
+  double dt_init = 1e-3;
+  double dt_min = 1e-12;
+  double dt_max = 1.0;
+  std::size_t max_steps = 50'000'000;
+};
+
+/// Adaptive Cash-Karp integration from t0 to t1. Throws util::Error if the
+/// step size underflows dt_min. Returns the final time reached.
+double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
+                          const AdaptiveOptions& opts = {},
+                          const Observer& observe = nullptr);
+
+}  // namespace lsm::ode

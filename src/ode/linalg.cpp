@@ -1,0 +1,61 @@
+#include "ode/linalg.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace lsm::ode {
+
+LuSolver::LuSolver(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+  LSM_EXPECT(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw util::Error("LuSolver: singular matrix");
+    if (pivot != k) {
+      std::swap(perm_[pivot], perm_[k]);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(pivot, c), lu_(k, c));
+      }
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv;
+      lu_(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuSolver::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.rows();
+  LSM_EXPECT(b.size() == n, "rhs has wrong dimension");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower triangle).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace lsm::ode

@@ -1,0 +1,49 @@
+// Small dense linear algebra: row-major matrix plus LU factorization with
+// partial pivoting. Sized for the truncated mean-field systems (n <= ~500),
+// where a textbook O(n^3) factorization is more than fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting; solve() reuses the factors.
+class LuSolver {
+ public:
+  /// Factors `a` (copied). Throws util::Error on (numerical) singularity.
+  explicit LuSolver(Matrix a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace lsm::ode

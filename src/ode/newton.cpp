@@ -1,0 +1,78 @@
+#include "ode/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ode/linalg.hpp"
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
+                                const NewtonOptions& opts) {
+  const std::size_t n = sys.dimension();
+  LSM_EXPECT(s0.size() == n, "initial state has wrong dimension");
+  State f(n), f_pert(n), trial(n);
+  NewtonResult result;
+  result.state = std::move(s0);
+
+  sys.deriv(0.0, result.state, f);
+  result.residual_norm = norm_linf(f);
+
+  for (std::size_t iter = 0; iter < opts.max_iter; ++iter) {
+    if (result.residual_norm < opts.tol) {
+      result.converged = true;
+      return result;
+    }
+    ++result.iterations;
+
+    // Forward-difference Jacobian, column by column.
+    Matrix jac(n, n);
+    State pert = result.state;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h =
+          opts.fd_eps * std::max(1.0, std::abs(result.state[j]));
+      pert[j] = result.state[j] + h;
+      sys.deriv(0.0, pert, f_pert);
+      pert[j] = result.state[j];
+      const double inv_h = 1.0 / h;
+      for (std::size_t i = 0; i < n; ++i) {
+        jac(i, j) = (f_pert[i] - f[i]) * inv_h;
+      }
+    }
+
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+    std::vector<double> delta;
+    try {
+      delta = LuSolver(jac).solve(std::move(rhs));
+    } catch (const util::Error&) {
+      return result;  // singular Jacobian: hand back best-so-far
+    }
+
+    // Backtracking line search on the residual norm.
+    double alpha = 1.0;
+    bool improved = false;
+    for (int bt = 0; bt < 30; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) {
+        trial[i] = result.state[i] + alpha * delta[i];
+      }
+      sys.project(trial);
+      sys.deriv(0.0, trial, f_pert);
+      const double trial_norm = norm_linf(f_pert);
+      if (trial_norm < result.residual_norm) {
+        result.state = trial;
+        std::swap(f, f_pert);
+        result.residual_norm = trial_norm;
+        improved = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!improved) return result;  // stagnated
+  }
+  result.converged = result.residual_norm < opts.tol;
+  return result;
+}
+
+}  // namespace lsm::ode

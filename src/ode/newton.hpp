@@ -1,0 +1,29 @@
+// Newton's method for f(s) = 0 with a finite-difference Jacobian and a
+// backtracking line search. Used to polish fixed points of the mean-field
+// systems after ODE relaxation has brought the iterate into the basin.
+#pragma once
+
+#include "ode/system.hpp"
+
+namespace lsm::ode {
+
+struct NewtonOptions {
+  double tol = 1e-13;        ///< stop when ||f(s)||_inf < tol
+  std::size_t max_iter = 60;
+  double fd_eps = 1e-7;      ///< forward-difference Jacobian perturbation
+};
+
+struct NewtonResult {
+  State state;
+  double residual_norm = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solves f(s) = 0 where f is sys.deriv at t = 0. On stagnation returns the
+/// best iterate with converged = false rather than throwing, so callers can
+/// fall back to the relaxation result.
+NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
+                                const NewtonOptions& opts = {});
+
+}  // namespace lsm::ode

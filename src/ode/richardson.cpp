@@ -1,0 +1,31 @@
+#include "ode/richardson.hpp"
+
+#include <cmath>
+
+#include "ode/integrator.hpp"
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+RichardsonResult integrate_richardson(const OdeSystem& sys, Stepper& stepper,
+                                      const State& s0, double t0, double t1,
+                                      double h) {
+  LSM_EXPECT(h > 0.0, "step size must be positive");
+  State coarse = s0;
+  integrate_fixed(sys, stepper, coarse, t0, t1, h);
+  State fine = s0;
+  integrate_fixed(sys, stepper, fine, t0, t1, h / 2.0);
+
+  const double weight = std::pow(2.0, stepper.order());
+  RichardsonResult out;
+  out.state.resize(s0.size());
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    out.state[i] = (weight * fine[i] - coarse[i]) / (weight - 1.0);
+    out.error_estimate = std::max(
+        out.error_estimate, std::abs(fine[i] - coarse[i]) / (weight - 1.0));
+  }
+  sys.project(out.state);
+  return out;
+}
+
+}  // namespace lsm::ode

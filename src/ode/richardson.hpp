@@ -1,0 +1,27 @@
+// Richardson extrapolation over fixed-step integrations: runs a stepper at
+// h and h/2, combines the results to cancel the leading error term, and
+// reports a global error estimate. Useful when a caller wants certified
+// accuracy from the simple fixed-step steppers (the adaptive integrator
+// controls only local error).
+#pragma once
+
+#include "ode/steppers.hpp"
+#include "ode/system.hpp"
+
+namespace lsm::ode {
+
+struct RichardsonResult {
+  State state;                 ///< extrapolated (order p+1) solution
+  double error_estimate = 0.0; ///< max-norm estimate of the h/2 run's error
+};
+
+/// Integrates `sys` from (t0, s0) to t1 with `stepper` at step h and h/2
+/// and Richardson-extrapolates: with a stepper of order p,
+///   y*  =  (2^p y_{h/2} - y_h) / (2^p - 1).
+/// The error estimate is ||y_{h/2} - y_h|| / (2^p - 1).
+[[nodiscard]] RichardsonResult integrate_richardson(const OdeSystem& sys,
+                                                    Stepper& stepper,
+                                                    const State& s0, double t0,
+                                                    double t1, double h);
+
+}  // namespace lsm::ode

@@ -1,0 +1,55 @@
+// Dense state vectors for the mean-field ODE systems, plus the small set of
+// BLAS-1 style operations the steppers need. Free functions over
+// std::vector<double> keep the steppers allocation-free on the hot path.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+using State = std::vector<double>;
+
+/// y += a * x
+inline void axpy(double a, const State& x, State& y) {
+  LSM_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+/// out = s + a * x  (out is resized as needed)
+inline void add_scaled(const State& s, double a, const State& x, State& out) {
+  LSM_ASSERT(s.size() == x.size());
+  out.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i] + a * x[i];
+}
+
+inline double norm_l1(const State& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+inline double norm_linf(const State& x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+inline double norm_l2(const State& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+/// L1 distance between two states of equal dimension.
+inline double distance_l1(const State& a, const State& b) {
+  LSM_ASSERT(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+}  // namespace lsm::ode

@@ -1,0 +1,36 @@
+#include "ode/steady_state.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+SteadyStateResult relax_to_fixed_point(const OdeSystem& sys, State s0,
+                                       const SteadyStateOptions& opts) {
+  LSM_EXPECT(s0.size() == sys.dimension(), "initial state has wrong dimension");
+  State ds(s0.size());
+  double t = 0.0;
+  double next_check = opts.check_interval;
+  double norm = 0.0;
+  AdaptiveOptions aopts = opts.adaptive;
+  aopts.dt_max = std::max(aopts.dt_max, opts.check_interval);
+
+  sys.project(s0);
+  sys.deriv(0.0, s0, ds);
+  norm = norm_linf(ds);
+  while (norm >= opts.deriv_tol) {
+    if (t >= opts.t_max) {
+      throw util::Error("relax_to_fixed_point: no convergence by t_max (norm=" +
+                        std::to_string(norm) + ")");
+    }
+    const double target = std::min(next_check, opts.t_max);
+    t = integrate_adaptive(sys, s0, t, target, aopts);
+    next_check = t + opts.check_interval;
+    sys.deriv(t, s0, ds);
+    norm = norm_linf(ds);
+  }
+  return SteadyStateResult{std::move(s0), t, norm};
+}
+
+}  // namespace lsm::ode

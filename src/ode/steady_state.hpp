@@ -1,0 +1,30 @@
+// Steady-state (fixed point) location by relaxation: integrate the ODE
+// until ||f(s)||_inf falls below tolerance. Robust for the mean-field
+// systems in this library because their trajectories converge to the fixed
+// point from reasonable starting states (paper, Section 4).
+#pragma once
+
+#include "ode/integrator.hpp"
+#include "ode/system.hpp"
+
+namespace lsm::ode {
+
+struct SteadyStateOptions {
+  double deriv_tol = 1e-11;   ///< stop when ||f(s)||_inf < deriv_tol
+  double t_max = 1e6;         ///< give up (throw) beyond this horizon
+  double check_interval = 1.0;  ///< how often to test the derivative norm
+  AdaptiveOptions adaptive{};
+};
+
+struct SteadyStateResult {
+  State state;
+  double time = 0.0;        ///< integration time consumed
+  double deriv_norm = 0.0;  ///< final ||f(s)||_inf
+};
+
+/// Relaxes `s0` to a fixed point of `sys`. Throws util::Error when t_max is
+/// exhausted before the derivative norm reaches tolerance.
+SteadyStateResult relax_to_fixed_point(const OdeSystem& sys, State s0,
+                                       const SteadyStateOptions& opts = {});
+
+}  // namespace lsm::ode

@@ -1,0 +1,26 @@
+// Abstract right-hand side f(t, s) of an autonomous-or-not ODE system
+// ds/dt = f(t, s). Mean-field models in src/core implement this interface.
+#pragma once
+
+#include <cstddef>
+
+#include "ode/state.hpp"
+
+namespace lsm::ode {
+
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  /// Writes f(t, s) into ds; ds is pre-sized to dimension().
+  virtual void deriv(double t, const State& s, State& ds) const = 0;
+
+  [[nodiscard]] virtual std::size_t dimension() const = 0;
+
+  /// Projects s back onto the feasible set (e.g. clamp to [0,1], restore
+  /// monotone tails). Called by integrators after every accepted step;
+  /// default is a no-op.
+  virtual void project(State& s) const { (void)s; }
+};
+
+}  // namespace lsm::ode

@@ -1,0 +1,53 @@
+// Data-parallel helpers layered on ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lsm::par {
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until all
+/// iterations complete. Iterations must not race with each other. The first
+/// exception thrown by any iteration is rethrown here.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body body) {
+  LSM_EXPECT(begin <= end, "parallel_for range is inverted");
+  if (begin == end) return;
+  const std::size_t count = end - begin;
+  const std::size_t chunks =
+      std::min<std::size_t>(count, static_cast<std::size_t>(pool.size()) * 4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + count * c / chunks;
+    const std::size_t hi = begin + count * (c + 1) / chunks;
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Maps fn over [0, n) returning the results in index order. fn may run on
+/// any worker; results are assembled deterministically.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using Result = std::invoke_result_t<Fn, std::size_t>;
+  std::vector<std::future<Result>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit(fn, i));
+  }
+  std::vector<Result> out;
+  out.reserve(n);
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace lsm::par

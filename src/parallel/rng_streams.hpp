@@ -1,0 +1,27 @@
+// Deterministic independent RNG streams for parallel replications.
+//
+// Stream k is the base generator advanced by k 2^128-step jumps, so results
+// are bit-for-bit reproducible for a given (seed, replication index) no
+// matter how work is scheduled across threads.
+#pragma once
+
+#include <cstdint>
+
+#include "util/xoshiro.hpp"
+
+namespace lsm::par {
+
+class RngStreams {
+ public:
+  explicit RngStreams(std::uint64_t seed) : base_(seed) {}
+
+  /// Generator for stream `index`; streams are pairwise independent.
+  [[nodiscard]] util::Xoshiro256 stream(unsigned index) const {
+    return base_.stream(index);
+  }
+
+ private:
+  util::Xoshiro256 base_;
+};
+
+}  // namespace lsm::par

@@ -1,0 +1,63 @@
+// Fixed-size thread pool used to fan simulation replications and parameter
+// sweeps across cores. Tasks are type-erased; submit() returns a future so
+// exceptions thrown inside a task propagate to the caller on get().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lsm::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). The pool joins in the destructor
+  /// after draining the queue (RAII; no detached threads).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues `fn(args...)`; the returned future yields its result or
+  /// rethrows its exception.
+  template <typename Fn, typename... Args>
+  auto submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using Result = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [f = std::forward<Fn>(fn),
+         ... as = std::forward<Args>(args)]() mutable -> Result {
+          return std::invoke(std::move(f), std::move(as)...);
+        });
+    std::future<Result> fut = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit() on stopped ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lsm::par

@@ -1,0 +1,56 @@
+#include "sim/distributions.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::sim {
+
+ServiceDistribution::ServiceDistribution(Kind kind, double mean,
+                                         std::size_t stages)
+    : kind_(kind), mean_(mean), stages_(stages) {
+  LSM_EXPECT(mean > 0.0, "service mean must be positive");
+}
+
+ServiceDistribution ServiceDistribution::exponential(double mean) {
+  return ServiceDistribution(Kind::Exponential, mean, 1);
+}
+
+ServiceDistribution ServiceDistribution::constant(double value) {
+  return ServiceDistribution(Kind::Constant, value, 1);
+}
+
+ServiceDistribution ServiceDistribution::erlang(std::size_t stages,
+                                                double mean) {
+  LSM_EXPECT(stages >= 1, "Erlang needs at least one stage");
+  return ServiceDistribution(Kind::Erlang, mean, stages);
+}
+
+double ServiceDistribution::sample(util::Xoshiro256& rng) const {
+  switch (kind_) {
+    case Kind::Exponential:
+      return rng.exponential(mean_);
+    case Kind::Constant:
+      return mean_;
+    case Kind::Erlang: {
+      const double stage_mean = mean_ / static_cast<double>(stages_);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < stages_; ++i) acc += rng.exponential(stage_mean);
+      return acc;
+    }
+  }
+  LSM_ASSERT(false);
+  return 0.0;
+}
+
+std::string ServiceDistribution::name() const {
+  switch (kind_) {
+    case Kind::Exponential:
+      return "exp(" + std::to_string(mean_) + ")";
+    case Kind::Constant:
+      return "const(" + std::to_string(mean_) + ")";
+    case Kind::Erlang:
+      return "erlang(c=" + std::to_string(stages_) + ")";
+  }
+  return "?";
+}
+
+}  // namespace lsm::sim

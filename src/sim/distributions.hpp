@@ -1,0 +1,36 @@
+// Service-time distributions for the simulator, mirroring the paper's
+// model variants: exponential (base model), constant (Section 3.1's target)
+// and Erlang-c (the method-of-stages approximation itself, useful for
+// validating the stage models against their own assumption).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/xoshiro.hpp"
+
+namespace lsm::sim {
+
+class ServiceDistribution {
+ public:
+  enum class Kind { Exponential, Constant, Erlang };
+
+  static ServiceDistribution exponential(double mean = 1.0);
+  static ServiceDistribution constant(double value = 1.0);
+  /// Sum of `stages` exponentials each of mean `mean`/stages.
+  static ServiceDistribution erlang(std::size_t stages, double mean = 1.0);
+
+  [[nodiscard]] double sample(util::Xoshiro256& rng) const;
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::string name() const;
+
+ private:
+  ServiceDistribution(Kind kind, double mean, std::size_t stages);
+
+  Kind kind_;
+  double mean_;
+  std::size_t stages_;
+};
+
+}  // namespace lsm::sim

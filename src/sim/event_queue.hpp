@@ -1,0 +1,82 @@
+// Deterministic event calendar for the discrete-event simulator: a binary
+// min-heap on (time, insertion sequence). The sequence tie-break makes
+// simulations bit-for-bit reproducible for a given seed even when event
+// times collide exactly.
+//
+// Cancellation is by generation stamps held by the caller: events carry
+// whatever payload the caller provides, and stale events are recognized
+// (and skipped) when popped rather than removed eagerly.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lsm::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(double time, Payload payload) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] const Entry& top() const {
+    LSM_ASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  Entry pop() {
+    LSM_ASSERT(!heap_.empty());
+    Entry out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && before(heap_[l], heap_[best])) best = l;
+      if (r < n && before(heap_[r], heap_[best])) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lsm::sim

@@ -1,0 +1,150 @@
+#include "sim/policy.hpp"
+
+#include "util/error.hpp"
+
+namespace lsm::sim {
+
+StealPolicy StealPolicy::none() {
+  StealPolicy p;
+  p.kind = Kind::None;
+  return p;
+}
+
+StealPolicy StealPolicy::on_empty(std::size_t threshold, std::size_t choices,
+                                  std::size_t steal_count) {
+  StealPolicy p;
+  p.kind = Kind::OnEmpty;
+  p.threshold = threshold;
+  p.choices = choices;
+  p.steal_count = steal_count;
+  p.validate();
+  return p;
+}
+
+StealPolicy StealPolicy::with_retries(double retry_rate,
+                                      std::size_t threshold) {
+  StealPolicy p = on_empty(threshold);
+  p.retry_rate = retry_rate;
+  p.validate();
+  return p;
+}
+
+StealPolicy StealPolicy::preemptive(std::size_t begin_steal,
+                                    std::size_t threshold) {
+  StealPolicy p;
+  p.kind = Kind::Preemptive;
+  p.begin_steal = begin_steal;
+  p.threshold = threshold;
+  p.validate();
+  return p;
+}
+
+StealPolicy StealPolicy::composed(std::size_t begin_steal,
+                                  std::size_t threshold, std::size_t choices,
+                                  std::size_t steal_count, double retry_rate) {
+  StealPolicy p;
+  p.kind = Kind::Preemptive;
+  p.begin_steal = begin_steal;
+  p.threshold = threshold;
+  p.choices = choices;
+  p.steal_count = steal_count;
+  p.retry_rate = retry_rate;
+  p.validate();
+  return p;
+}
+
+StealPolicy StealPolicy::with_transfer(double transfer_mean,
+                                       std::size_t threshold, Transfer kind) {
+  StealPolicy p = on_empty(threshold);
+  p.transfer = kind;
+  p.transfer_mean = transfer_mean;
+  p.validate();
+  return p;
+}
+
+StealPolicy StealPolicy::sharing(std::size_t share_threshold) {
+  StealPolicy p;
+  p.kind = Kind::Share;
+  p.threshold = share_threshold;
+  p.validate();
+  return p;
+}
+
+StealPolicy StealPolicy::rebalance(double rate) {
+  StealPolicy p;
+  p.kind = Kind::Rebalance;
+  p.rebalance_rate = rate;
+  p.validate();
+  return p;
+}
+
+void StealPolicy::validate() const {
+  switch (kind) {
+    case Kind::None:
+      return;
+    case Kind::OnEmpty:
+      LSM_EXPECT(threshold >= 2, "OnEmpty requires threshold >= 2");
+      LSM_EXPECT(choices >= 1, "need at least one victim probe");
+      LSM_EXPECT(steal_count >= 1, "must steal at least one task");
+      LSM_EXPECT(2 * steal_count <= threshold || steal_count == 1,
+                 "multi-steal requires k <= T/2");
+      LSM_EXPECT(retry_rate >= 0.0, "retry rate must be non-negative");
+      break;
+    case Kind::Preemptive:
+      LSM_EXPECT(threshold >= 2, "Preemptive requires threshold >= 2");
+      LSM_EXPECT(choices >= 1, "need at least one victim probe");
+      LSM_EXPECT(steal_count >= 1, "must steal at least one task");
+      LSM_EXPECT(2 * steal_count <= threshold || steal_count == 1,
+                 "multi-steal requires k <= T/2");
+      LSM_EXPECT(retry_rate >= 0.0, "retry rate must be non-negative");
+      break;
+    case Kind::Rebalance:
+      LSM_EXPECT(rebalance_rate >= 0.0, "re-balance rate must be >= 0");
+      LSM_EXPECT(transfer == Transfer::Instant,
+                 "re-balancing is modeled with instant moves");
+      break;
+    case Kind::Share:
+      LSM_EXPECT(threshold >= 1, "sharing threshold must be at least 1");
+      LSM_EXPECT(transfer == Transfer::Instant,
+                 "sharing is modeled with instant forwards");
+      break;
+  }
+  if (transfer != Transfer::Instant) {
+    LSM_EXPECT(transfer_mean > 0.0, "transfer latency must be positive");
+  }
+  if (transfer == Transfer::Erlang) {
+    LSM_EXPECT(transfer_stages >= 1, "Erlang transfer needs >= 1 stage");
+  }
+}
+
+std::string StealPolicy::name() const {
+  switch (kind) {
+    case Kind::None:
+      return "none";
+    case Kind::OnEmpty: {
+      std::string n = "on-empty(T=" + std::to_string(threshold);
+      if (choices > 1) n += ",d=" + std::to_string(choices);
+      if (steal_count > 1) n += ",k=" + std::to_string(steal_count);
+      if (retry_rate > 0.0) n += ",r=" + std::to_string(retry_rate);
+      if (transfer != Transfer::Instant) {
+        n += ",xfer=" + std::to_string(transfer_mean);
+      }
+      return n + ")";
+    }
+    case Kind::Preemptive: {
+      std::string n = "preemptive(B=" + std::to_string(begin_steal) +
+                      ",T=" + std::to_string(threshold);
+      if (choices > 1) n += ",d=" + std::to_string(choices);
+      if (steal_count > 1) n += ",k=" + std::to_string(steal_count);
+      if (retry_rate > 0.0) n += ",r=" + std::to_string(retry_rate);
+      return n + ")";
+    }
+    case Kind::Rebalance:
+      return "rebalance(r=" + std::to_string(rebalance_rate) + ")";
+    case Kind::Share:
+      return "sharing(S=" + std::to_string(threshold) + ")";
+  }
+  return "?";
+}
+
+}  // namespace lsm::sim

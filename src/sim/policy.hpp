@@ -1,0 +1,69 @@
+// Steal-policy configuration covering every variant analyzed in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lsm::sim {
+
+struct StealPolicy {
+  enum class Kind {
+    None,        ///< independent M/M/1 queues (equation (1) baseline)
+    OnEmpty,     ///< steal when the queue empties (Sections 2.2-2.3, 2.5, 3.2-3.4)
+    Preemptive,  ///< start stealing at load <= B, victim >= load + T (2.4)
+    Rebalance,   ///< pairwise even split at rate r while busy (3.4)
+    Share,       ///< sender-initiated: forward arrivals hitting load >= T
+                 ///< once to a random processor (the intro's work-sharing
+                 ///< foil; cf. Eager-Lazowska-Zahorjan)
+  };
+
+  enum class Transfer {
+    Instant,      ///< steals land immediately (Sections 2.x)
+    Exponential,  ///< Exp(mean) transfer latency (Section 3.2)
+    Constant,     ///< fixed transfer latency
+    Erlang,       ///< sum of transfer_stages exponentials (Section 3.2+3.1)
+  };
+
+  Kind kind = Kind::OnEmpty;
+  std::size_t threshold = 2;    ///< T: victim minimum load (absolute for
+                                ///< OnEmpty, relative to thief for Preemptive)
+  std::size_t choices = 1;      ///< d: random victims probed per attempt
+  std::size_t steal_count = 1;  ///< k: tasks taken per successful steal
+  double retry_rate = 0.0;      ///< r: repeated attempts while idle (0 = off)
+  std::size_t begin_steal = 0;  ///< B for Preemptive
+  double rebalance_rate = 0.0;  ///< r for Rebalance (while load >= 1)
+
+  Transfer transfer = Transfer::Instant;
+  double transfer_mean = 0.0;  ///< mean transfer latency (1/r in the paper)
+  std::size_t transfer_stages = 1;  ///< stages for Transfer::Erlang
+
+  /// Sample victims uniformly from all n processors (a probe of oneself
+  /// simply fails). This matches the mean-field success probability m_T/n
+  /// and reproduces the paper's finite-n simulation columns; set false to
+  /// probe only the other n-1 processors.
+  bool victims_include_self = true;
+
+  // Named constructors for the paper's configurations.
+  static StealPolicy none();
+  static StealPolicy on_empty(std::size_t threshold = 2, std::size_t choices = 1,
+                              std::size_t steal_count = 1);
+  static StealPolicy with_retries(double retry_rate, std::size_t threshold = 2);
+  static StealPolicy preemptive(std::size_t begin_steal, std::size_t threshold);
+  /// Fully composed policy: preemptive trigger B, relative threshold T,
+  /// d probes, k tasks per steal, retries at rate r while idle.
+  static StealPolicy composed(std::size_t begin_steal, std::size_t threshold,
+                              std::size_t choices, std::size_t steal_count,
+                              double retry_rate);
+  static StealPolicy with_transfer(double transfer_mean,
+                                   std::size_t threshold = 2,
+                                   Transfer kind = Transfer::Exponential);
+  static StealPolicy rebalance(double rate);
+  /// Sender-initiated sharing with forwarding threshold S >= 1.
+  static StealPolicy sharing(std::size_t share_threshold);
+
+  [[nodiscard]] std::string name() const;
+  /// Throws util::Error when the combination is inconsistent.
+  void validate() const;
+};
+
+}  // namespace lsm::sim

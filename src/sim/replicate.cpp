@@ -1,0 +1,61 @@
+#include "sim/replicate.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng_streams.hpp"
+#include "util/error.hpp"
+
+namespace lsm::sim {
+
+namespace {
+
+ReplicationResult aggregate(std::vector<SimResult> runs) {
+  ReplicationResult out;
+  std::vector<double> sojourns, tasks;
+  sojourns.reserve(runs.size());
+  tasks.reserve(runs.size());
+  for (const auto& r : runs) {
+    sojourns.push_back(r.mean_sojourn());
+    tasks.push_back(r.mean_tasks);
+  }
+  out.sojourn = util::summarize(sojourns);
+  out.mean_tasks = util::summarize(tasks);
+  if (!runs.empty()) {
+    out.tail_fraction.assign(runs.front().tail_fraction.size(), 0.0);
+    for (const auto& r : runs) {
+      for (std::size_t i = 0; i < out.tail_fraction.size(); ++i) {
+        out.tail_fraction[i] += r.tail_fraction[i];
+      }
+    }
+    for (auto& v : out.tail_fraction) v /= static_cast<double>(runs.size());
+  }
+  out.replications = std::move(runs);
+  return out;
+}
+
+}  // namespace
+
+ReplicationResult replicate(const SimConfig& config, std::size_t replications,
+                            par::ThreadPool& pool) {
+  LSM_EXPECT(replications >= 1, "need at least one replication");
+  config.validate();
+  const par::RngStreams streams(config.seed);
+  auto runs = par::parallel_map(pool, replications, [&](std::size_t i) {
+    return simulate(config, streams.stream(static_cast<unsigned>(i)));
+  });
+  return aggregate(std::move(runs));
+}
+
+ReplicationResult replicate(const SimConfig& config,
+                            std::size_t replications) {
+  LSM_EXPECT(replications >= 1, "need at least one replication");
+  config.validate();
+  const par::RngStreams streams(config.seed);
+  std::vector<SimResult> runs;
+  runs.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    runs.push_back(simulate(config, streams.stream(static_cast<unsigned>(i))));
+  }
+  return aggregate(std::move(runs));
+}
+
+}  // namespace lsm::sim

@@ -1,0 +1,33 @@
+// Replication harness: runs R independent simulation replications (each on
+// its own xoshiro jump stream) across a thread pool and aggregates the
+// per-replication results, matching the paper's "average of 10 simulations"
+// methodology.
+#pragma once
+
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "util/statistics.hpp"
+
+namespace lsm::sim {
+
+struct ReplicationResult {
+  util::Summary sojourn;            ///< across per-replication mean sojourns
+  util::Summary mean_tasks;         ///< across per-replication E[N] values
+  std::vector<double> tail_fraction;  ///< element-wise mean of s_i estimates
+  std::vector<SimResult> replications;
+};
+
+/// Runs `replications` copies of `config` (seeded from config.seed via
+/// deterministic jump streams) on `pool`. Results are independent of the
+/// thread schedule.
+[[nodiscard]] ReplicationResult replicate(const SimConfig& config,
+                                          std::size_t replications,
+                                          par::ThreadPool& pool);
+
+/// Serial convenience overload.
+[[nodiscard]] ReplicationResult replicate(const SimConfig& config,
+                                          std::size_t replications);
+
+}  // namespace lsm::sim

@@ -1,0 +1,589 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/statistics.hpp"
+
+namespace lsm::sim {
+
+double SimResult::sojourn_percentile(double p) const {
+  LSM_EXPECT(!sojourn_samples.empty(),
+             "enable SimConfig::collect_sojourns for percentiles");
+  return util::percentile(sojourn_samples, p);
+}
+
+void SimConfig::validate() const {
+  LSM_EXPECT(processors >= 1, "need at least one processor");
+  LSM_EXPECT(arrival_rate >= 0.0 && internal_rate >= 0.0,
+             "arrival rates must be non-negative");
+  LSM_EXPECT(horizon > 0.0, "horizon must be positive");
+  LSM_EXPECT(warmup >= 0.0 && warmup < horizon,
+             "warmup must lie inside the horizon");
+  LSM_EXPECT(fast_count <= processors, "fast_count exceeds processor count");
+  LSM_EXPECT(fast_speed > 0.0 && slow_speed > 0.0, "speeds must be positive");
+  if (!speed_groups.empty()) {
+    std::size_t covered = 0;
+    for (const auto& g : speed_groups) {
+      LSM_EXPECT(g.speed > 0.0, "group speeds must be positive");
+      covered += g.count;
+    }
+    LSM_EXPECT(covered == processors,
+               "speed_groups must cover every processor exactly once");
+  }
+  LSM_EXPECT(loaded_count <= processors, "loaded_count exceeds processors");
+  LSM_EXPECT(histogram_limit >= 2, "histogram too small to be useful");
+  policy.validate();
+}
+
+namespace {
+
+enum class Ev : std::uint8_t {
+  Arrival,
+  Completion,
+  Retry,
+  TransferArrive,
+  Rebalance,
+};
+
+struct Payload {
+  Ev kind;
+  std::uint32_t proc;
+  std::uint64_t stamp;  // generation stamp for cancellable events
+};
+
+/// Time-averaged tail histogram: lazily accumulated per level so each load
+/// change costs O(|delta|) instead of O(levels).
+class TailStats {
+ public:
+  TailStats(std::size_t processors, std::size_t limit)
+      : count_ge_(limit + 1, 0),
+        acc_(limit + 1, 0.0),
+        last_t_(limit + 1, 0.0),
+        limit_(limit) {
+    count_ge_[0] = static_cast<std::uint32_t>(processors);
+  }
+
+  /// Current number of processors with load >= i.
+  [[nodiscard]] std::uint32_t count_ge(std::size_t i) const noexcept {
+    return count_ge_[std::min(i, limit_)];
+  }
+
+  void change(std::size_t old_load, std::size_t new_load, double t) {
+    const std::size_t a = std::min(old_load, limit_);
+    const std::size_t b = std::min(new_load, limit_);
+    if (a < b) {
+      for (std::size_t i = a + 1; i <= b; ++i) bump(i, t, +1);
+    } else {
+      for (std::size_t i = b + 1; i <= a; ++i) bump(i, t, -1);
+    }
+  }
+
+  void reset(double t) {
+    std::fill(acc_.begin(), acc_.end(), 0.0);
+    std::fill(last_t_.begin(), last_t_.end(), t);
+  }
+
+  /// Folds outstanding time up to t and returns time-averaged fractions.
+  [[nodiscard]] std::vector<double> finalize(double t, double start,
+                                             std::size_t processors) {
+    std::vector<double> out(limit_ + 1, 0.0);
+    const double span = t - start;
+    if (span <= 0.0) return out;
+    for (std::size_t i = 0; i <= limit_; ++i) {
+      acc_[i] += count_ge_[i] * (t - last_t_[i]);
+      last_t_[i] = t;
+      out[i] = acc_[i] / (span * static_cast<double>(processors));
+    }
+    return out;
+  }
+
+ private:
+  void bump(std::size_t i, double t, int delta) {
+    acc_[i] += count_ge_[i] * (t - last_t_[i]);
+    last_t_[i] = t;
+    count_ge_[i] = static_cast<std::uint32_t>(
+        static_cast<int>(count_ge_[i]) + delta);
+  }
+
+  std::vector<std::uint32_t> count_ge_;
+  std::vector<double> acc_;
+  std::vector<double> last_t_;
+  std::size_t limit_;
+};
+
+struct Proc {
+  std::deque<double> queue;  // task arrival times; front() is in service
+  std::vector<double> inflight;  // stolen tasks en route to this processor
+  bool waiting = false;          // awaiting a transfer (steal one at a time)
+  std::uint64_t retry_stamp = 0;
+  std::uint64_t rebalance_stamp = 0;
+  double speed = 1.0;
+};
+
+class Engine {
+ public:
+  Engine(const SimConfig& cfg, util::Xoshiro256 rng)
+      : cfg_(cfg),
+        rng_(rng),
+        procs_(cfg.processors),
+        tails_(cfg.processors, cfg.histogram_limit) {
+    if (!cfg_.speed_groups.empty()) {
+      std::size_t p = 0;
+      for (const auto& group : cfg_.speed_groups) {
+        for (std::size_t k = 0; k < group.count; ++k) {
+          procs_[p++].speed = group.speed;
+        }
+      }
+    } else {
+      for (std::size_t p = 0; p < cfg_.fast_count; ++p) {
+        procs_[p].speed = cfg_.fast_speed;
+      }
+      for (std::size_t p = cfg_.fast_count; p < procs_.size(); ++p) {
+        procs_[p].speed = cfg_.slow_speed;
+      }
+    }
+  }
+
+  SimResult run() {
+    seed_initial_load();
+    seed_arrivals();
+    const double horizon = cfg_.horizon;
+    double now = 0.0;
+    bool hit_horizon = false;
+    double next_sample = cfg_.timeline_dt > 0.0 ? 0.0 : horizon + 1.0;
+    while (!eq_.empty()) {
+      const double t_next = eq_.top().time;
+      if (t_next > horizon) {
+        hit_horizon = true;  // state stays frozen from `now` to the horizon
+        break;
+      }
+      // State is constant between events: snapshot any sample instants
+      // that the next event will jump over.
+      while (next_sample <= t_next && next_sample <= horizon) {
+        record_timeline(next_sample);
+        next_sample += cfg_.timeline_dt;
+      }
+      if (!warmup_done_ && t_next >= cfg_.warmup) begin_measurement();
+      auto entry = eq_.pop();
+      now = entry.time;
+      dispatch(entry.payload, now);
+    }
+    if (hit_horizon) {
+      while (next_sample <= horizon) {  // frozen state up to the horizon
+        record_timeline(next_sample);
+        next_sample += cfg_.timeline_dt;
+      }
+    } else if (cfg_.timeline_dt > 0.0 && next_sample <= horizon) {
+      record_timeline(now);  // drained: close the series, don't pad to 1e6
+    }
+    if (!warmup_done_) begin_measurement();
+    const double end = hit_horizon ? horizon : std::max(now, cfg_.warmup);
+    finalize(end);
+    return std::move(result_);
+  }
+
+ private:
+  // --- setup -------------------------------------------------------------
+
+  void seed_initial_load() {
+    for (std::size_t p = 0; p < cfg_.loaded_count; ++p) {
+      auto& proc = procs_[p];
+      for (std::size_t k = 0; k < cfg_.initial_tasks; ++k) {
+        proc.queue.push_back(0.0);
+      }
+      total_tasks_ += cfg_.initial_tasks;
+      result_.initial_tasks += cfg_.initial_tasks;
+      tails_.change(0, cfg_.initial_tasks, 0.0);
+      if (!proc.queue.empty()) {
+        start_service(static_cast<std::uint32_t>(p), 0.0);
+        on_became_busy(static_cast<std::uint32_t>(p), 0.0);
+      }
+    }
+  }
+
+  void seed_arrivals() {
+    max_rate_ = cfg_.arrival_rate + cfg_.internal_rate;
+    if (max_rate_ <= 0.0) return;
+    for (std::uint32_t p = 0; p < procs_.size(); ++p) {
+      eq_.push(rng_.exponential(1.0 / max_rate_), Payload{Ev::Arrival, p, 0});
+    }
+  }
+
+  // --- measurement bookkeeping --------------------------------------------
+
+  void begin_measurement() {
+    warmup_done_ = true;
+    tails_.reset(cfg_.warmup);
+    tasks_acc_ = 0.0;
+    tasks_last_t_ = cfg_.warmup;
+  }
+
+  void note_tasks_change(std::int64_t delta, double t) {
+    tasks_acc_ += static_cast<double>(total_tasks_) * (t - tasks_last_t_);
+    tasks_last_t_ = t;
+    total_tasks_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(total_tasks_) + delta);
+  }
+
+  void record_timeline(double t) {
+    const auto n = static_cast<double>(procs_.size());
+    result_.timeline.push_back(
+        {t, static_cast<double>(total_tasks_) / n,
+         static_cast<double>(tails_.count_ge(1)) / n});
+  }
+
+  void note_queue_grew(const Proc& proc) {
+    if (warmup_done_) {
+      result_.max_queue = std::max(result_.max_queue, proc.queue.size());
+    }
+  }
+
+  void finalize(double end) {
+    const double start = cfg_.warmup;
+    result_.measured_time = std::max(end - start, 0.0);
+    result_.tail_fraction = tails_.finalize(end, start, procs_.size());
+    tasks_acc_ += static_cast<double>(total_tasks_) * (end - tasks_last_t_);
+    result_.mean_tasks =
+        result_.measured_time > 0.0
+            ? tasks_acc_ /
+                  (result_.measured_time * static_cast<double>(procs_.size()))
+            : 0.0;
+    result_.drain_time = last_completion_;
+    result_.tasks_remaining = total_tasks_;
+  }
+
+  // --- event dispatch ------------------------------------------------------
+
+  void dispatch(const Payload& ev, double t) {
+    switch (ev.kind) {
+      case Ev::Arrival:
+        on_arrival(ev.proc, t);
+        break;
+      case Ev::Completion:
+        on_completion(ev.proc, t);
+        break;
+      case Ev::Retry:
+        on_retry(ev.proc, ev.stamp, t);
+        break;
+      case Ev::TransferArrive:
+        on_transfer_arrive(ev.proc, t);
+        break;
+      case Ev::Rebalance:
+        on_rebalance(ev.proc, ev.stamp, t);
+        break;
+    }
+  }
+
+  void on_arrival(std::uint32_t p, double t) {
+    // Each processor owns a Poisson stream at the maximum rate; thinning
+    // yields the load-dependent rate lambda_ext + [busy] lambda_int.
+    eq_.push(t + rng_.exponential(1.0 / max_rate_), Payload{Ev::Arrival, p, 0});
+    auto& proc = procs_[p];
+    const double rate_now =
+        cfg_.arrival_rate + (proc.queue.empty() ? 0.0 : cfg_.internal_rate);
+    if (rate_now < max_rate_ && rng_.uniform() >= rate_now / max_rate_) {
+      return;  // thinned away
+    }
+    ++result_.arrivals;
+    // Sender-initiated sharing: an arrival hitting a loaded processor is
+    // forwarded once to a uniformly random processor.
+    std::uint32_t dest = p;
+    if (cfg_.policy.kind == StealPolicy::Kind::Share &&
+        proc.queue.size() >= cfg_.policy.threshold && procs_.size() > 1) {
+      ++result_.forwards;
+      if (warmup_done_) ++result_.control_messages_measured;
+      dest = random_victim(p);  // a self-pick keeps the task local
+      if (dest != p) ++result_.tasks_moved;
+    }
+    auto& target = procs_[dest];
+    const std::size_t old_load = target.queue.size();
+    target.queue.push_back(t);
+    note_tasks_change(+1, t);
+    note_queue_grew(target);
+    tails_.change(old_load, old_load + 1, t);
+    invalidate_retries(target);
+    if (old_load == 0) {
+      start_service(dest, t);
+      on_became_busy(dest, t);
+    }
+  }
+
+  void on_completion(std::uint32_t p, double t) {
+    auto& proc = procs_[p];
+    LSM_ASSERT(!proc.queue.empty());
+    const double arrived = proc.queue.front();
+    proc.queue.pop_front();
+    const std::size_t load = proc.queue.size();
+    note_tasks_change(-1, t);
+    tails_.change(load + 1, load, t);
+    ++result_.completions;
+    last_completion_ = t;
+    if (warmup_done_ && arrived >= cfg_.warmup) {
+      result_.sojourn.add(t - arrived);
+      if (cfg_.collect_sojourns) {
+        result_.sojourn_samples.push_back(t - arrived);
+      }
+    }
+    if (!proc.queue.empty()) {
+      start_service(p, t);
+    } else {
+      on_became_idle(proc);
+    }
+    // Post-completion stealing.
+    switch (cfg_.policy.kind) {
+      case StealPolicy::Kind::OnEmpty:
+        if (load == 0 && !proc.waiting) {
+          if (!attempt_steal(p, 0, t) && cfg_.policy.retry_rate > 0.0) {
+            schedule_retry(p, t);
+          }
+        }
+        break;
+      case StealPolicy::Kind::Preemptive:
+        if (load <= cfg_.policy.begin_steal && !proc.waiting) {
+          const bool ok = attempt_steal(p, load, t);
+          // Composed policies keep retrying while idle (load 0 only).
+          if (!ok && load == 0 && cfg_.policy.retry_rate > 0.0) {
+            schedule_retry(p, t);
+          }
+        }
+        break;
+      case StealPolicy::Kind::None:
+      case StealPolicy::Kind::Rebalance:
+      case StealPolicy::Kind::Share:
+        break;
+    }
+  }
+
+  void on_retry(std::uint32_t p, std::uint64_t stamp, double t) {
+    auto& proc = procs_[p];
+    if (stamp != proc.retry_stamp) return;  // stale
+    if (!proc.queue.empty() || proc.waiting) return;
+    if (!attempt_steal(p, 0, t)) schedule_retry(p, t);
+  }
+
+  void on_transfer_arrive(std::uint32_t p, double t) {
+    auto& proc = procs_[p];
+    LSM_ASSERT(proc.waiting);
+    proc.waiting = false;
+    const std::size_t old_load = proc.queue.size();
+    for (double arrived : proc.inflight) proc.queue.push_back(arrived);
+    const std::size_t gained = proc.inflight.size();
+    proc.inflight.clear();
+    note_queue_grew(proc);
+    tails_.change(old_load, old_load + gained, t);
+    invalidate_retries(proc);
+    if (old_load == 0 && gained > 0) {
+      start_service(p, t);
+      on_became_busy(p, t);
+    }
+  }
+
+  void on_rebalance(std::uint32_t p, std::uint64_t stamp, double t) {
+    auto& proc = procs_[p];
+    if (stamp != proc.rebalance_stamp) return;  // stale
+    if (proc.queue.empty()) return;
+    if (procs_.size() > 1) {
+      const auto q = random_victim(p);
+      if (q != p) rebalance_pair(p, q, t);
+    }
+    // Still busy (an even split never empties a busy initiator).
+    LSM_ASSERT(!proc.queue.empty());
+    schedule_rebalance(p, t);
+  }
+
+  // --- stealing ------------------------------------------------------------
+
+  /// One steal attempt by processor p whose current load is thief_load.
+  /// Returns true if tasks were (or began being) transferred.
+  bool attempt_steal(std::uint32_t p, std::size_t thief_load, double t) {
+    if (procs_.size() <= 1) return false;
+    ++result_.steal_attempts;
+    if (warmup_done_) ++result_.control_messages_measured;
+    const StealPolicy& pol = cfg_.policy;
+    // Probe d uniformly random victims; keep the most loaded. A probe of
+    // the thief itself counts as a failed probe (load comparison below).
+    std::uint32_t best = p;
+    std::size_t best_load = 0;
+    for (std::size_t probe = 0; probe < pol.choices; ++probe) {
+      const std::uint32_t v = random_victim(p);
+      if (v == p) continue;
+      const std::size_t load = procs_[v].queue.size();
+      if (best == p || load > best_load) {
+        best = v;
+        best_load = load;
+      }
+    }
+    if (best == p) return false;  // every probe hit the thief itself
+    const std::size_t need = pol.kind == StealPolicy::Kind::Preemptive
+                                 ? thief_load + pol.threshold
+                                 : pol.threshold;
+    if (best_load < need) return false;
+    ++result_.steal_successes;
+    const std::size_t take = std::min(pol.steal_count, best_load - 1);
+    move_tasks(best, p, take, t);
+    return true;
+  }
+
+  /// Moves `take` tasks from the tail of victim to thief (instantly or via
+  /// a transfer, per policy).
+  void move_tasks(std::uint32_t victim, std::uint32_t thief, std::size_t take,
+                  double t) {
+    auto& vic = procs_[victim];
+    auto& thf = procs_[thief];
+    LSM_ASSERT(take >= 1 && vic.queue.size() > take);
+    result_.tasks_moved += take;
+    const std::size_t vic_load = vic.queue.size();
+    std::vector<double> moved(vic.queue.end() - static_cast<std::ptrdiff_t>(take),
+                              vic.queue.end());
+    vic.queue.erase(vic.queue.end() - static_cast<std::ptrdiff_t>(take),
+                    vic.queue.end());
+    tails_.change(vic_load, vic_load - take, t);
+
+    if (cfg_.policy.transfer == StealPolicy::Transfer::Instant) {
+      const std::size_t old_load = thf.queue.size();
+      for (double arrived : moved) thf.queue.push_back(arrived);
+      note_queue_grew(thf);
+      tails_.change(old_load, old_load + take, t);
+      invalidate_retries(thf);
+      if (old_load == 0) {
+        start_service(thief, t);
+        on_became_busy(thief, t);
+      }
+    } else {
+      thf.inflight = std::move(moved);
+      thf.waiting = true;
+      invalidate_retries(thf);
+      eq_.push(t + sample_transfer(), Payload{Ev::TransferArrive, thief, 0});
+    }
+  }
+
+  void rebalance_pair(std::uint32_t a, std::uint32_t b, double t) {
+    const std::size_t la = procs_[a].queue.size();
+    const std::size_t lb = procs_[b].queue.size();
+    if (la == lb) return;
+    const std::uint32_t donor = la > lb ? a : b;
+    const std::uint32_t recv = la > lb ? b : a;
+    const std::size_t total = la + lb;
+    // Initially-larger processor keeps the ceiling of the even split.
+    const std::size_t donor_after = (total + 1) / 2;
+    const std::size_t donor_before = std::max(la, lb);
+    if (donor_before <= donor_after) return;  // already balanced
+    const std::size_t take = donor_before - donor_after;
+
+    auto& dn = procs_[donor];
+    auto& rc = procs_[recv];
+    result_.tasks_moved += take;
+    std::vector<double> moved(dn.queue.end() - static_cast<std::ptrdiff_t>(take),
+                              dn.queue.end());
+    dn.queue.erase(dn.queue.end() - static_cast<std::ptrdiff_t>(take),
+                   dn.queue.end());
+    tails_.change(donor_before, donor_after, t);
+
+    const std::size_t recv_before = rc.queue.size();
+    for (double arrived : moved) rc.queue.push_back(arrived);
+    note_queue_grew(rc);
+    tails_.change(recv_before, recv_before + take, t);
+    invalidate_retries(rc);
+    if (recv_before == 0) {
+      start_service(recv, t);
+      on_became_busy(recv, t);
+    }
+  }
+
+  // --- scheduling helpers ----------------------------------------------------
+
+  [[nodiscard]] double sample_transfer() {
+    switch (cfg_.policy.transfer) {
+      case StealPolicy::Transfer::Exponential:
+        return rng_.exponential(cfg_.policy.transfer_mean);
+      case StealPolicy::Transfer::Constant:
+        return cfg_.policy.transfer_mean;
+      case StealPolicy::Transfer::Erlang: {
+        const double stage_mean =
+            cfg_.policy.transfer_mean /
+            static_cast<double>(cfg_.policy.transfer_stages);
+        double acc = 0.0;
+        for (std::size_t m = 0; m < cfg_.policy.transfer_stages; ++m) {
+          acc += rng_.exponential(stage_mean);
+        }
+        return acc;
+      }
+      case StealPolicy::Transfer::Instant:
+        break;
+    }
+    LSM_ASSERT(false);
+    return 0.0;
+  }
+
+  void start_service(std::uint32_t p, double t) {
+    auto& proc = procs_[p];
+    LSM_ASSERT(!proc.queue.empty());
+    const double duration = cfg_.service.sample(rng_) / proc.speed;
+    eq_.push(t + duration, Payload{Ev::Completion, p, 0});
+  }
+
+  void schedule_retry(std::uint32_t p, double t) {
+    auto& proc = procs_[p];
+    eq_.push(t + rng_.exponential(1.0 / cfg_.policy.retry_rate),
+             Payload{Ev::Retry, p, proc.retry_stamp});
+  }
+
+  void schedule_rebalance(std::uint32_t p, double t) {
+    auto& proc = procs_[p];
+    eq_.push(t + rng_.exponential(1.0 / cfg_.policy.rebalance_rate),
+             Payload{Ev::Rebalance, p, proc.rebalance_stamp});
+  }
+
+  static void invalidate_retries(Proc& proc) { ++proc.retry_stamp; }
+
+  void on_became_busy(std::uint32_t p, double t) {
+    if (cfg_.policy.kind == StealPolicy::Kind::Rebalance &&
+        cfg_.policy.rebalance_rate > 0.0) {
+      schedule_rebalance(p, t);
+    }
+  }
+
+  void on_became_idle(Proc& proc) { ++proc.rebalance_stamp; }
+
+  /// Victim index per the policy's sampling mode; may equal p when
+  /// victims_include_self (the caller treats that as a failed probe).
+  [[nodiscard]] std::uint32_t random_victim(std::uint32_t p) {
+    if (cfg_.policy.victims_include_self) {
+      return static_cast<std::uint32_t>(rng_.below(procs_.size()));
+    }
+    auto v = static_cast<std::uint32_t>(rng_.below(procs_.size() - 1));
+    if (v >= p) ++v;
+    return v;
+  }
+
+  const SimConfig& cfg_;
+  util::Xoshiro256 rng_;
+  std::vector<Proc> procs_;
+  EventQueue<Payload> eq_;
+  TailStats tails_;
+  SimResult result_;
+
+  double max_rate_ = 0.0;
+  bool warmup_done_ = false;
+  std::uint64_t total_tasks_ = 0;
+  double tasks_acc_ = 0.0;
+  double tasks_last_t_ = 0.0;
+  double last_completion_ = 0.0;
+};
+
+}  // namespace
+
+SimResult simulate(const SimConfig& config, util::Xoshiro256 rng) {
+  config.validate();
+  Engine engine(config, rng);
+  return engine.run();
+}
+
+SimResult simulate(const SimConfig& config) {
+  return simulate(config, util::Xoshiro256(config.seed));
+}
+
+}  // namespace lsm::sim

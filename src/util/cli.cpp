@@ -1,0 +1,56 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace lsm::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      kv_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    } else {
+      kv_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.contains(key); }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+double Args::get(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  LSM_EXPECT(end && *end == '\0', "option --" + key + " expects a number");
+  return v;
+}
+
+long Args::get(const std::string& key, long fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  LSM_EXPECT(end && *end == '\0', "option --" + key + " expects an integer");
+  return v;
+}
+
+bool Args::flag(const std::string& key) const {
+  const auto it = kv_.find(key);
+  return it != kv_.end() && it->second != "false" && it->second != "0";
+}
+
+}  // namespace lsm::util

@@ -1,0 +1,34 @@
+// Minimal command-line option parser for the example and bench binaries.
+// Supports --key=value and boolean --flag forms; everything else is
+// positional (the space-separated --key value form is deliberately not
+// supported to keep flags unambiguous next to positional arguments).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lsm::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] long get(const std::string& key, long fallback) const;
+  [[nodiscard]] bool flag(const std::string& key) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lsm::util

@@ -1,0 +1,25 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+namespace lsm::util {
+
+bool paper_fidelity() {
+  const char* v = std::getenv("LSM_PAPER");
+  if (v == nullptr) return false;
+  const std::string_view s(v);
+  return !s.empty() && s != "0" && s != "false" && s != "off";
+}
+
+unsigned worker_threads() {
+  if (const char* v = std::getenv("LSM_THREADS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1u;
+}
+
+}  // namespace lsm::util

@@ -1,0 +1,15 @@
+// Environment knobs shared by the bench harnesses.
+#pragma once
+
+namespace lsm::util {
+
+/// True when LSM_PAPER is set to a truthy value: benches then run at the
+/// paper's fidelity (10 replications of 100,000 s with 10,000 s warmup)
+/// instead of the CI-speed defaults.
+[[nodiscard]] bool paper_fidelity();
+
+/// Worker-thread count for replication harnesses: LSM_THREADS if set,
+/// otherwise the hardware concurrency (at least 1).
+[[nodiscard]] unsigned worker_threads();
+
+}  // namespace lsm::util

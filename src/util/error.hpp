@@ -1,0 +1,47 @@
+// Error handling primitives shared across the lsm library.
+//
+// Two mechanisms, per the C++ Core Guidelines split between preconditions
+// and recoverable errors:
+//   * LSM_ASSERT / LSM_EXPECT - programmer-error checks; throw LogicError so
+//     tests can observe violations (never UB, even in release builds).
+//   * lsm::util::Error - recoverable runtime failures (bad user input,
+//     non-convergence) reported to callers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lsm::util {
+
+/// Recoverable runtime failure (bad configuration, solver non-convergence).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition or internal invariant; indicates a caller bug.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void raise_logic(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  throw LogicError(std::string(file) + ":" + std::to_string(line) +
+                   ": assertion `" + expr + "` failed" +
+                   (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace lsm::util
+
+/// Invariant check that stays on in release builds; throws LogicError.
+#define LSM_ASSERT(expr)                                             \
+  do {                                                               \
+    if (!(expr)) ::lsm::util::raise_logic(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define LSM_EXPECT(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) ::lsm::util::raise_logic(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

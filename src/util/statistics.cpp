@@ -1,0 +1,201 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lsm::util {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double normal_quantile(double p) {
+  LSM_EXPECT(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double q = 0.0;
+  if (p < plow) {
+    const double u = std::sqrt(-2.0 * std::log(p));
+    q = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double u = p - 0.5;
+    const double r = u * u;
+    q = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        u /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - p));
+    q = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  return q;
+}
+
+namespace {
+
+/// Regularized incomplete beta via Lentz's continued fraction.
+double incomplete_beta(double a, double bb, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a) + std::lgamma(bb) - std::lgamma(a + bb);
+  const double front = std::exp(std::log(x) * a + std::log1p(-x) * bb - ln_beta);
+  // Symmetry transform keeps the continued fraction convergent.
+  if (x > (a + 1.0) / (a + bb + 2.0)) {
+    return 1.0 - incomplete_beta(bb, a, 1.0 - x);
+  }
+  constexpr double tiny = 1e-300;
+  double f = 1.0;
+  double c = 1.0;
+  double d = 0.0;
+  for (int i = 0; i <= 300; ++i) {
+    const int m = i / 2;
+    double numerator = 0.0;
+    if (i == 0) {
+      numerator = 1.0;
+    } else if (i % 2 == 0) {
+      numerator = (m * (bb - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+    } else {
+      numerator =
+          -((a + m) * (a + bb + m) * x) / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+    }
+    d = 1.0 + numerator * d;
+    if (std::abs(d) < tiny) d = tiny;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::abs(c) < tiny) c = tiny;
+    const double cd = c * d;
+    f *= cd;
+    if (std::abs(1.0 - cd) < 1e-12) break;
+  }
+  return front * (f - 1.0) / a;
+}
+
+/// Student-t CDF for t >= 0.
+double t_cdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * incomplete_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double t_critical(std::size_t dof, double confidence) {
+  LSM_EXPECT(dof >= 1, "t_critical requires dof >= 1");
+  LSM_EXPECT(confidence > 0.0 && confidence < 1.0,
+             "confidence must lie in (0,1)");
+  const double target = 1.0 - (1.0 - confidence) / 2.0;
+  if (dof > 200) return normal_quantile(target);
+  // Bisection on the CDF; the bracket [0, 700] covers dof=1 at 99.99%.
+  double lo = 0.0;
+  double hi = 700.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (t_cdf(mid, static_cast<double>(dof)) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Summary summarize(std::span<const double> xs, double confidence) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  if (xs.size() > 1) {
+    const double t = t_critical(xs.size() - 1, confidence);
+    s.half_width = t * s.stddev / std::sqrt(static_cast<double>(xs.size()));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  LSM_EXPECT(!xs.empty(), "percentile of empty sample");
+  LSM_EXPECT(p >= 0.0 && p <= 1.0, "percentile requires p in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double relative_error_pct(double measured, double reference) {
+  if (reference == 0.0) return std::numeric_limits<double>::infinity();
+  return 100.0 * std::abs(measured - reference) / std::abs(reference);
+}
+
+double log_linear_slope(std::span<const double> ys) {
+  LSM_EXPECT(ys.size() >= 2, "slope needs at least two points");
+  // Ordinary least squares of log(y_i) on i.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] <= 0.0) break;  // tail ran into truncation noise
+    const auto x = static_cast<double>(i);
+    const double y = std::log(ys[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  LSM_EXPECT(n >= 2, "slope needs two positive points");
+  const auto dn = static_cast<double>(n);
+  return (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+}
+
+}  // namespace lsm::util

@@ -1,0 +1,66 @@
+// Streaming and batch statistics used by the simulator and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lsm::util {
+
+/// Welford's online mean/variance accumulator; O(1) memory, numerically
+/// stable for the long sojourn-time streams the simulator produces.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean and a symmetric confidence half-width over replication results.
+struct Summary {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< half-width of the confidence interval
+  double stddev = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+};
+
+/// Student-t based confidence interval for the mean of `xs`.
+/// `confidence` in (0,1), e.g. 0.95.
+[[nodiscard]] Summary summarize(std::span<const double> xs,
+                                double confidence = 0.95);
+
+/// Two-sided Student-t critical value (via incomplete-beta inversion; exact
+/// to ~1e-8, falls back to the normal quantile for dof > 200).
+[[nodiscard]] double t_critical(std::size_t dof, double confidence);
+
+/// Standard normal quantile (Acklam's algorithm, |error| < 1.2e-9).
+[[nodiscard]] double normal_quantile(double p);
+
+/// p-th percentile (p in [0,1]) by linear interpolation; sorts a copy.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Relative error |a - b| / |b| in percent, matching the paper's tables.
+[[nodiscard]] double relative_error_pct(double measured, double reference);
+
+/// Least-squares slope of log(y) against x, used to estimate geometric
+/// tail-decay ratios exp(slope) from fixed-point tails.
+[[nodiscard]] double log_linear_slope(std::span<const double> ys);
+
+}  // namespace lsm::util

@@ -1,0 +1,39 @@
+// Console table and CSV emission for bench harnesses, so each bench binary
+// can print rows in the same layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsm::util {
+
+/// Column-aligned text table with an optional CSV dump.
+///
+/// Usage:
+///   Table t({"lambda", "Sim(128)", "Estimate", "RelErr(%)"});
+///   t.add_row({"0.50", "1.620", "1.618", "0.15"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string fmt(double v, int precision = 3);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lsm::util

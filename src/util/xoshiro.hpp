@@ -1,0 +1,124 @@
+// xoshiro256++ pseudo-random generator with splitmix64 seeding and the
+// canonical 2^128 jump, giving cheap independent streams for parallel
+// replications (each worker takes stream k = k jumps from the base state).
+//
+// Hand-rolled rather than <random>'s mt19937_64 because (a) we need jump()
+// for deterministic parallel streams and (b) the generator is on the hot
+// path of the discrete-event simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::util {
+
+/// splitmix64: seed expander recommended by the xoshiro authors.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9054a3c9e1b2cd47ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advances the state by 2^128 steps; used to carve independent streams.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (std::uint64_t{1} << b)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= s_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    s_ = acc;
+  }
+
+  /// Returns a generator `n_jumps` independent streams away from this one.
+  [[nodiscard]] Xoshiro256 stream(unsigned n_jumps) const noexcept {
+    Xoshiro256 g = *this;
+    for (unsigned i = 0; i < n_jumps; ++i) g.jump();
+    return g;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as an argument to log().
+  double uniform_pos() noexcept {
+    return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean) noexcept {
+    return -mean * std::log(uniform_pos());
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Debiased multiply-shift; rejection loop terminates almost immediately.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace lsm::util

@@ -1,0 +1,210 @@
+// Tests for src/analysis: stability traces (Section 4), multi-start
+// convergence, tail-ratio estimation, and the comparison harness.
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+#include "analysis/convergence.hpp"
+#include "analysis/finite_size.hpp"
+#include "analysis/stability.hpp"
+#include "analysis/transient.hpp"
+#include "core/fixed_point.hpp"
+#include "core/metrics.hpp"
+#include "core/multi_choice_ws.hpp"
+#include "core/no_stealing.hpp"
+#include "core/threshold_ws.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace lsm;
+
+TEST(Stability, L1DistanceDecreasesFromEmptyStart) {
+  // Theorem 1 regime: pi_2 < 1/2 (lambda = 0.6 gives pi_2 ~ 0.23).
+  core::SimpleWS model(0.6);
+  const auto pi = model.analytic_fixed_point();
+  ASSERT_TRUE(analysis::theorem_stability_condition(pi));
+  const auto trace =
+      analysis::trace_l1_distance(model, model.empty_state(), pi, 40.0);
+  EXPECT_TRUE(trace.monotone_within(1e-9));
+  EXPECT_LT(trace.samples.back().l1, 1e-3);
+  EXPECT_GT(trace.samples.front().l1, 0.5);
+}
+
+TEST(Stability, L1DistanceDecreasesFromOverloadedStart) {
+  core::SimpleWS model(0.6);
+  const auto pi = model.analytic_fixed_point();
+  const auto trace =
+      analysis::trace_l1_distance(model, model.mm1_state(), pi, 40.0);
+  EXPECT_TRUE(trace.monotone_within(1e-9));
+}
+
+TEST(Stability, HighLoadStillConvergesEmpirically) {
+  // Beyond the theorem's pi_2 < 1/2 regime the paper expects (but cannot
+  // prove) convergence; numerically it holds.
+  core::SimpleWS model(0.95);
+  const auto pi = model.analytic_fixed_point();
+  EXPECT_FALSE(analysis::theorem_stability_condition(pi));
+  const auto trace =
+      analysis::trace_l1_distance(model, model.empty_state(), pi, 400.0);
+  EXPECT_LT(trace.samples.back().l1, 1e-2);
+}
+
+TEST(Stability, TheoremConditionBoundary) {
+  // pi_2 crosses 1/2 somewhere between lambda 0.76 and 0.77.
+  EXPECT_TRUE(
+      analysis::theorem_stability_condition({1.0, 0.7, 0.49, 0.1}));
+  EXPECT_FALSE(
+      analysis::theorem_stability_condition({1.0, 0.8, 0.51, 0.1}));
+}
+
+TEST(Convergence, AllRandomStartsReachFixedPoint) {
+  core::SimpleWS model(0.8);
+  const auto pi = model.analytic_fixed_point();
+  const auto starts = analysis::random_starts(model, 8, 77);
+  const auto report = analysis::check_convergence(model, starts, pi, 400.0);
+  EXPECT_TRUE(report.all_converged())
+      << "worst distance " << report.worst_final_distance;
+}
+
+TEST(Convergence, RandomStartsAreFeasible) {
+  core::SimpleWS model(0.8);
+  for (const auto& s : analysis::random_starts(model, 5, 3)) {
+    EXPECT_EQ(s[0], 1.0);
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      EXPECT_LE(s[i], s[i - 1] + 1e-12);
+      EXPECT_GE(s[i], 0.0);
+    }
+  }
+}
+
+TEST(Convergence, ReportsFailureForTinyHorizon) {
+  core::SimpleWS model(0.8);
+  const auto pi = model.analytic_fixed_point();
+  const auto starts = analysis::random_starts(model, 3, 5);
+  const auto report =
+      analysis::check_convergence(model, starts, pi, 0.01, 1e-9);
+  EXPECT_FALSE(report.all_converged());
+}
+
+TEST(TailRatio, RecoversAnalyticRatio) {
+  core::ThresholdWS model(0.9, 3);
+  const auto pi = model.analytic_fixed_point();
+  EXPECT_NEAR(core::tail_decay_ratio(pi, 4), model.analytic_tail_ratio(),
+              1e-9);
+}
+
+// --- transient ------------------------------------------------------------------
+
+TEST(Transient, EmptyStartSettles) {
+  core::SimpleWS model(0.8);
+  const auto pi = model.analytic_fixed_point();
+  const auto tr =
+      analysis::time_to_steady_state(model, model.empty_state(), pi, 1e-3);
+  ASSERT_TRUE(tr.settled);
+  EXPECT_GT(tr.settle_time, 1.0);
+  EXPECT_GT(tr.initial_distance, 1.0);
+}
+
+TEST(Transient, AlreadySettledStartIsInstant) {
+  core::SimpleWS model(0.8);
+  const auto pi = model.analytic_fixed_point();
+  const auto tr = analysis::time_to_steady_state(model, pi, pi, 1e-3);
+  EXPECT_TRUE(tr.settled);
+  EXPECT_EQ(tr.settle_time, 0.0);
+}
+
+TEST(Transient, TightEpsilonTakesLonger) {
+  core::SimpleWS model(0.8);
+  const auto pi = model.analytic_fixed_point();
+  const auto loose =
+      analysis::time_to_steady_state(model, model.empty_state(), pi, 1e-2);
+  const auto tight =
+      analysis::time_to_steady_state(model, model.empty_state(), pi, 1e-5);
+  ASSERT_TRUE(loose.settled && tight.settled);
+  EXPECT_GT(tight.settle_time, loose.settle_time);
+}
+
+TEST(Transient, BetterPoliciesSettleFaster) {
+  const double lambda = 0.9;
+  core::NoStealing slow(lambda);
+  core::MultiChoiceWS fast(lambda, 2, 2);
+  const auto t_slow = analysis::time_to_steady_state(
+      slow, slow.empty_state(), slow.analytic_fixed_point(), 1e-3);
+  const auto t_fast = analysis::time_to_steady_state(
+      fast, fast.empty_state(), core::solve_fixed_point(fast).state, 1e-3);
+  ASSERT_TRUE(t_slow.settled && t_fast.settled);
+  EXPECT_LT(t_fast.settle_time, t_slow.settle_time);
+}
+
+TEST(Transient, SpectralEstimateFormula) {
+  EXPECT_NEAR(analysis::spectral_settle_estimate(1.0, 1e-3, 0.5),
+              std::log(1000.0) / 0.5, 1e-12);
+  EXPECT_EQ(analysis::spectral_settle_estimate(1e-4, 1e-3, 0.5), 0.0);
+  EXPECT_THROW((void)analysis::spectral_settle_estimate(1.0, 1e-3, 0.0),
+               util::LogicError);
+}
+
+TEST(Compare, RowCarriesSimAndEstimate) {
+  par::ThreadPool pool(2);
+  analysis::ComparisonSpec spec;
+  spec.processor_counts = {8, 16};
+  spec.replications = 2;
+  spec.horizon = 2000.0;
+  spec.warmup = 200.0;
+
+  sim::SimConfig base;
+  base.arrival_rate = 0.7;
+  base.policy = sim::StealPolicy::on_empty(2);
+
+  const double estimate = core::SimpleWS(0.7).analytic_sojourn();
+  const auto row = analysis::compare_row(base, spec, estimate, pool);
+  ASSERT_EQ(row.sim_sojourn.size(), 2u);
+  EXPECT_NEAR(row.sim_sojourn[1], estimate, 0.35);
+  EXPECT_LT(row.rel_error_pct, 18.0);
+}
+
+TEST(Compare, QuickSpecShrinksWork) {
+  analysis::ComparisonSpec spec;
+  const auto quick = analysis::quick_spec(spec);
+  EXPECT_LT(quick.replications, spec.replications);
+  EXPECT_LT(quick.horizon, spec.horizon);
+}
+
+// --- finite-size scaling -----------------------------------------------------
+
+TEST(FiniteSize, ExactFitOnSyntheticData) {
+  // y = 3 + 10/n must be recovered exactly.
+  const std::vector<std::size_t> ns = {10, 20, 50, 100};
+  std::vector<double> ys;
+  for (std::size_t n : ns) ys.push_back(3.0 + 10.0 / static_cast<double>(n));
+  const auto fit = analysis::fit_one_over_n(ns, ys);
+  EXPECT_NEAR(fit.limit, 3.0, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 10.0, 1e-9);
+  EXPECT_NEAR(fit.residual, 0.0, 1e-10);
+}
+
+TEST(FiniteSize, RejectsDegenerateInput) {
+  EXPECT_THROW((void)analysis::fit_one_over_n({4}, {1.0}), util::LogicError);
+  EXPECT_THROW((void)analysis::fit_one_over_n({4, 8}, {1.0}),
+               util::LogicError);
+}
+
+TEST(FiniteSize, ExtrapolationRecoversMeanFieldLimit) {
+  par::ThreadPool pool(2);
+  sim::SimConfig base;
+  base.arrival_rate = 0.8;
+  base.policy = sim::StealPolicy::on_empty(2);
+  base.horizon = 8000.0;
+  base.warmup = 800.0;
+  base.seed = 77;
+  const auto fit =
+      analysis::sojourn_scaling(base, {8, 16, 32, 64}, 3, pool);
+  const double estimate = core::SimpleWS(0.8).analytic_sojourn();
+  // The raw n = 8 simulation is several percent high; the extrapolation
+  // must land much closer to the limit.
+  EXPECT_GT(fit.values.front(), estimate);
+  EXPECT_NEAR(fit.limit, estimate, 0.04);
+  EXPECT_GT(fit.coefficient, 0.0);  // finite systems are slower
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Tests for the stiff substrate: banded storage/LU, banded FD Jacobians
+// (per-column vs grouped), implicit Euler on stiff problems, and
+// pseudo-transient continuation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/erlang_ws.hpp"
+#include "core/fixed_point.hpp"
+#include "ode/banded.hpp"
+#include "ode/implicit.hpp"
+#include "ode/linalg.hpp"
+#include "ode/steady_state.hpp"
+#include "util/error.hpp"
+#include "util/xoshiro.hpp"
+
+namespace {
+
+using namespace lsm;
+using ode::State;
+
+// --- BandedMatrix -------------------------------------------------------------
+
+TEST(BandedMatrix, StoresAndRetrievesWithinBand) {
+  ode::BandedMatrix m(5, 1, 2);
+  m.set(0, 0, 1.0);
+  m.set(0, 2, 3.0);
+  m.set(3, 2, -2.0);
+  EXPECT_DOUBLE_EQ(m.get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.get(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.get(3, 2), -2.0);
+  EXPECT_DOUBLE_EQ(m.get(4, 4), 0.0);  // unset entries read as 0
+}
+
+TEST(BandedMatrix, OutOfBandReadsAreZero) {
+  ode::BandedMatrix m(6, 1, 1);
+  EXPECT_DOUBLE_EQ(m.get(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(m.get(5, 0), 0.0);
+}
+
+TEST(BandedMatrix, RejectsOutOfBandWrites) {
+  ode::BandedMatrix m(6, 1, 1);
+  EXPECT_THROW(m.set(5, 0, 1.0), util::LogicError);
+}
+
+// --- BandedLuSolver ---------------------------------------------------------------
+
+/// Builds matching banded and dense versions of a random diagonally
+/// dominant band matrix and checks the two solvers agree.
+TEST(BandedLu, MatchesDenseSolver) {
+  util::Xoshiro256 rng(11);
+  for (std::size_t kl : {1u, 3u}) {
+    for (std::size_t ku : {1u, 2u}) {
+      const std::size_t n = 40;
+      ode::BandedMatrix band(n, kl, ku);
+      ode::Matrix dense(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j_lo = i >= kl ? i - kl : 0;
+        const std::size_t j_hi = std::min(i + ku, n - 1);
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+          const double v = (i == j) ? 5.0 : 2.0 * rng.uniform() - 1.0;
+          band.set(i, j, v);
+          dense(i, j) = v;
+        }
+      }
+      std::vector<double> b(n);
+      for (auto& v : b) v = rng.uniform();
+      const auto xb = ode::BandedLuSolver(band).solve(b);
+      const auto xd = ode::LuSolver(dense).solve(b);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(xb[i], xd[i], 1e-11) << "kl=" << kl << " ku=" << ku;
+      }
+    }
+  }
+}
+
+TEST(BandedLu, PivotsWhenDiagonalVanishes) {
+  // [[0, 1], [1, 0]] needs a row swap.
+  ode::BandedMatrix m(2, 1, 1);
+  m.set(0, 1, 1.0);
+  m.set(1, 0, 1.0);
+  const auto x = ode::BandedLuSolver(m).solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(BandedLu, DetectsSingularity) {
+  ode::BandedMatrix m(3, 1, 1);
+  m.set(0, 0, 1.0);  // row 1 is entirely zero
+  m.set(2, 2, 1.0);
+  EXPECT_THROW(ode::BandedLuSolver{std::move(m)}, util::Error);
+}
+
+TEST(BandedLu, TridiagonalLaplacianRoundTrip) {
+  const std::size_t n = 100;
+  ode::BandedMatrix m(n, 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i, i, 2.0);
+    if (i > 0) m.set(i, i - 1, -1.0);
+    if (i + 1 < n) m.set(i, i + 1, -1.0);
+  }
+  // Known solution x, compute b = Ax, solve back.
+  std::vector<double> x_true(n), b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = std::sin(0.1 * static_cast<double>(i + 1));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = 2.0 * x_true[i];
+    if (i > 0) b[i] -= x_true[i - 1];
+    if (i + 1 < n) b[i] -= x_true[i + 1];
+  }
+  const auto x = ode::BandedLuSolver(std::move(m)).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+// --- banded FD Jacobians ----------------------------------------------------------
+
+/// Truly banded nonlinear system: a reaction-diffusion chain.
+class Diffusion final : public ode::OdeSystem {
+ public:
+  explicit Diffusion(std::size_t n, double rate) : n_(n), rate_(rate) {}
+  void deriv(double, const State& s, State& ds) const override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double left = i > 0 ? s[i - 1] : 0.0;
+      const double right = i + 1 < n_ ? s[i + 1] : 0.0;
+      ds[i] = rate_ * (left - 2.0 * s[i] + right) - s[i] * s[i] * s[i];
+    }
+  }
+  [[nodiscard]] std::size_t dimension() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  double rate_;
+};
+
+TEST(BandedFd, PerColumnAndGroupedAgreeOnBandedSystem) {
+  Diffusion sys(30, 50.0);
+  State s(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    s[i] = std::cos(static_cast<double>(i));
+  }
+  const auto a = ode::banded_fd_jacobian(sys, 0.0, s, 1, 1,
+                                         ode::FdMode::PerColumn);
+  const auto b = ode::banded_fd_jacobian(sys, 0.0, s, 1, 1,
+                                         ode::FdMode::Grouped);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = (i >= 1 ? i - 1 : 0); j <= std::min(i + 1, 29uz); ++j) {
+      EXPECT_NEAR(a.get(i, j), b.get(i, j), 1e-5) << i << "," << j;
+    }
+  }
+}
+
+TEST(BandedFd, RecoversAnalyticDerivatives) {
+  Diffusion sys(10, 2.0);
+  State s(10, 0.5);
+  const auto jac = ode::banded_fd_jacobian(sys, 0.0, s, 1, 1);
+  // d(ds_i)/d(s_i) = -2*rate - 3 s_i^2 = -4 - 0.75
+  EXPECT_NEAR(jac.get(4, 4), -4.75, 1e-5);
+  EXPECT_NEAR(jac.get(4, 5), 2.0, 1e-5);
+  EXPECT_NEAR(jac.get(4, 3), 2.0, 1e-5);
+}
+
+// --- implicit Euler ----------------------------------------------------------------
+
+/// Very stiff scalar decay: dy/dt = -K (y - 1).
+class StiffDecay final : public ode::OdeSystem {
+ public:
+  void deriv(double, const State& s, State& ds) const override {
+    ds[0] = -1000.0 * (s[0] - 1.0);
+  }
+  [[nodiscard]] std::size_t dimension() const override { return 1; }
+};
+
+TEST(ImplicitEuler, TakesStepsFarBeyondExplicitStability) {
+  // Explicit Euler needs h < 2e-3 here; implicit handles h = 1 easily.
+  StiffDecay sys;
+  ode::ImplicitOptions opts;
+  opts.kl = opts.ku = 0;
+  ode::ImplicitEulerBanded stepper(opts);
+  State s = {0.0};
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(stepper.step(sys, t, s, 1.0));
+    t += 1.0;
+  }
+  EXPECT_NEAR(s[0], 1.0, 1e-6);
+}
+
+TEST(ImplicitEuler, MatchesExplicitOnMildProblem) {
+  Diffusion sys(20, 1.0);
+  State s_imp(20, 1.0), s_exp(20, 1.0);
+  ode::ImplicitOptions opts;
+  opts.kl = opts.ku = 1;
+  ode::ImplicitEulerBanded stepper(opts);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(stepper.step(sys, t, s_imp, 0.01));
+    t += 0.01;
+  }
+  ode::integrate_adaptive(sys, s_exp, 0.0, 1.0, {});
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(s_imp[i], s_exp[i], 5e-3);
+  }
+}
+
+// --- pseudo-transient continuation ----------------------------------------------------
+
+TEST(StiffRelax, FindsDiffusionSteadyState) {
+  // Steady state of the stiff chain is s = 0 (cubic sink).
+  Diffusion sys(40, 200.0);
+  State s0(40, 1.0);
+  ode::StiffRelaxOptions opts;
+  opts.implicit.kl = opts.implicit.ku = 1;
+  const auto res = ode::stiff_relax_to_fixed_point(sys, s0, opts);
+  EXPECT_LT(res.deriv_norm, 1e-10);
+  for (double v : res.state) EXPECT_NEAR(v, 0.0, 1e-6);
+  EXPECT_LT(res.steps, 200u);
+}
+
+TEST(StiffRelax, MatchesExplicitRelaxOnErlangModel) {
+  core::ErlangServiceWS model(0.8, 10);
+  ode::StiffRelaxOptions sopts;
+  sopts.implicit.kl = sopts.implicit.ku = 10;
+  const auto stiff =
+      ode::stiff_relax_to_fixed_point(model, model.empty_state(), sopts);
+
+  ode::SteadyStateOptions eopts;
+  eopts.deriv_tol = 1e-8;       // stay above the explicit integrator's
+  eopts.adaptive.rtol = 1e-9;   // own error floor
+  const auto explicit_res =
+      ode::relax_to_fixed_point(model, model.empty_state(), eopts);
+
+  for (std::size_t i = 0; i < model.dimension(); ++i) {
+    EXPECT_NEAR(stiff.state[i], explicit_res.state[i], 1e-6) << "i=" << i;
+  }
+}
+
+TEST(StiffRelax, ErlangFixedPointPathUsesStiffSolver) {
+  // The public solver routes c > 1 stage models through the stiff path
+  // and must deliver the Table 2 value quickly.
+  core::ErlangServiceWS model(0.9, 20);
+  const auto fp = core::solve_fixed_point(model);
+  EXPECT_NEAR(model.mean_sojourn(fp.state), 2.709, 2e-3);
+}
+
+TEST(StiffRelax, ThrowsOnExhaustedBudget) {
+  Diffusion sys(10, 100.0);
+  State s0(10, 1.0);
+  ode::StiffRelaxOptions opts;
+  opts.implicit.kl = opts.implicit.ku = 1;
+  opts.max_steps = 1;
+  EXPECT_THROW(ode::stiff_relax_to_fixed_point(sys, s0, opts), util::Error);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Property tests over the numeric fixed-point machinery: for every model
+// variant and a sweep of arrival rates, the solver must find a feasible
+// fixed point with balanced throughput (completion rate == arrival rate)
+// and a tiny residual. These are the paper's structural invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/erlang_ws.hpp"
+#include "core/fixed_point.hpp"
+#include "core/heterogeneous_ws.hpp"
+#include "core/multi_choice_ws.hpp"
+#include "core/multi_steal_ws.hpp"
+#include "core/preemptive_ws.hpp"
+#include "core/rebalance_ws.hpp"
+#include "core/repeated_steal_ws.hpp"
+#include "core/threshold_ws.hpp"
+#include "core/transfer_ws.hpp"
+
+namespace {
+
+using namespace lsm;
+
+struct ModelCase {
+  std::string label;
+  std::unique_ptr<core::MeanFieldModel> (*make)(double lambda);
+  // Expected completion-rate expression differs per model; we verify
+  // throughput balance via model-specific checks below instead.
+};
+
+std::unique_ptr<core::MeanFieldModel> make_simple(double l) {
+  return std::make_unique<core::SimpleWS>(l);
+}
+std::unique_ptr<core::MeanFieldModel> make_threshold(double l) {
+  return std::make_unique<core::ThresholdWS>(l, 4);
+}
+std::unique_ptr<core::MeanFieldModel> make_preemptive(double l) {
+  return std::make_unique<core::PreemptiveWS>(l, 2, 4);
+}
+std::unique_ptr<core::MeanFieldModel> make_repeated(double l) {
+  return std::make_unique<core::RepeatedStealWS>(l, 1.0, 3);
+}
+std::unique_ptr<core::MeanFieldModel> make_multi_choice(double l) {
+  return std::make_unique<core::MultiChoiceWS>(l, 2, 2);
+}
+std::unique_ptr<core::MeanFieldModel> make_multi_steal(double l) {
+  return std::make_unique<core::MultiStealWS>(l, 2, 4);
+}
+std::unique_ptr<core::MeanFieldModel> make_rebalance(double l) {
+  return std::make_unique<core::RebalanceWS>(l, 0.5);
+}
+
+class FixedPointSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {
+ protected:
+  static constexpr ModelCase kCases[] = {
+      {"simple", make_simple},         {"threshold", make_threshold},
+      {"preemptive", make_preemptive}, {"repeated", make_repeated},
+      {"multi-choice", make_multi_choice},
+      {"multi-steal", make_multi_steal},
+      {"rebalance", make_rebalance},
+  };
+};
+
+TEST_P(FixedPointSweep, FeasibleBalancedLowResidual) {
+  const auto [case_idx, lambda] = GetParam();
+  const auto& c = kCases[case_idx];
+  const auto model = c.make(lambda);
+  const auto fp = core::solve_fixed_point(*model);
+
+  EXPECT_LT(fp.residual, 1e-9) << c.label;
+
+  const auto& pi = fp.state;
+  // Feasibility: monotone tail in [0,1] with head 1.
+  EXPECT_NEAR(pi[0], 1.0, 1e-12);
+  for (std::size_t i = 1; i <= model->truncation(); ++i) {
+    EXPECT_LE(pi[i], pi[i - 1] + 1e-12) << c.label << " i=" << i;
+    EXPECT_GE(pi[i], -1e-12) << c.label << " i=" << i;
+  }
+  // Throughput balance: unit-rate servers complete at rate pi_1 = lambda.
+  EXPECT_NEAR(pi[1], lambda, 1e-8) << c.label;
+  // The truncation absorbed essentially all mass.
+  EXPECT_LT(pi[model->truncation()], 1e-8) << c.label;
+  // Sojourn at least the service time, and finite.
+  const double w = model->mean_sojourn(pi);
+  EXPECT_GT(w, 1.0) << c.label;
+  EXPECT_LT(w, 1000.0) << c.label;
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+  static const char* kNames[] = {"simple",      "threshold",  "preemptive",
+                                 "repeated",    "multichoice", "multisteal",
+                                 "rebalance"};
+  const int idx = std::get<0>(info.param);
+  const double lambda = std::get<1>(info.param);
+  return std::string(kNames[idx]) + "_lambda" +
+         std::to_string(static_cast<int>(lambda * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAndLoads, FixedPointSweep,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(0.3, 0.5, 0.7, 0.9, 0.95)),
+    sweep_name);
+
+TEST(FixedPointSolver, PolishImprovesResidual) {
+  core::SimpleWS model(0.9);
+  core::FixedPointOptions no_polish;
+  no_polish.polish = false;
+  core::FixedPointOptions with_polish;
+  const auto rough = core::solve_fixed_point(model, no_polish);
+  const auto fine = core::solve_fixed_point(model, with_polish);
+  EXPECT_TRUE(fine.polished);
+  EXPECT_LE(fine.residual, rough.residual);
+  EXPECT_LT(fine.residual, 1e-12);
+}
+
+TEST(FixedPointSolver, MatchesAnalyticSimpleWS) {
+  for (double lambda : {0.5, 0.7, 0.9, 0.95, 0.99}) {
+    core::SimpleWS model(lambda);
+    const auto fp = core::solve_fixed_point(model);
+    EXPECT_NEAR(model.mean_sojourn(fp.state), model.analytic_sojourn(), 2e-6)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(FixedPointSolver, MatchesAnalyticThresholdWS) {
+  for (std::size_t T : {3u, 5u}) {
+    core::ThresholdWS model(0.9, T);
+    const auto fp = core::solve_fixed_point(model);
+    EXPECT_NEAR(model.mean_sojourn(fp.state), model.analytic_sojourn(), 2e-6)
+        << "T=" << T;
+  }
+}
+
+TEST(FixedPointSolver, TransferModelConservesClassMass) {
+  core::TransferTimeWS model(0.8, 0.25, 4);
+  const auto fp = core::solve_fixed_point(model);
+  EXPECT_LT(fp.residual, 1e-9);
+  const auto& x = fp.state;
+  EXPECT_NEAR(x[0] + x[model.w_index(0)], 1.0, 1e-9);
+  // Throughput: service happens in both classes; s_1 + w_1 = lambda.
+  EXPECT_NEAR(x[1] + x[model.w_index(1)], 0.8, 1e-8);
+}
+
+TEST(FixedPointSolver, HeterogeneousThroughputBalance) {
+  core::HeterogeneousWS model(0.9, 0.25, 2.0, 0.8, 2);
+  const auto fp = core::solve_fixed_point(model);
+  EXPECT_LT(fp.residual, 1e-9);
+  const auto& x = fp.state;
+  EXPECT_NEAR(2.0 * x[1] + 0.8 * x[model.v_index(1)], 0.9, 1e-8);
+  // Class masses pinned.
+  EXPECT_NEAR(x[0], 0.25, 1e-12);
+  EXPECT_NEAR(x[model.v_index(0)], 0.75, 1e-12);
+}
+
+TEST(FixedPointSolver, ErlangStagesThroughputBalance) {
+  core::ErlangServiceWS model(0.7, 5);
+  core::FixedPointOptions opts;
+  const auto fp = core::solve_fixed_point(model, opts);
+  EXPECT_LT(fp.residual, 1e-9);
+  // Stage completion rate c * p(exactly final stage)... busy fraction
+  // carries the balance: servers drain stages at rate c*s_1 and stages
+  // arrive at rate c*lambda -> s_1 = lambda.
+  EXPECT_NEAR(fp.state[1], 0.7, 1e-7);
+}
+
+}  // namespace

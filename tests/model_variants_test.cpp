@@ -1,0 +1,305 @@
+// Model-specific structural properties for the Section 2.4-3.5 variants:
+// geometric tail rates, interpretation-based invariants, and qualitative
+// orderings the paper states in prose.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/erlang_ws.hpp"
+#include "core/fixed_point.hpp"
+#include "core/general_arrival_ws.hpp"
+#include "core/heterogeneous_ws.hpp"
+#include "core/metrics.hpp"
+#include "core/multi_choice_ws.hpp"
+#include "core/multi_steal_ws.hpp"
+#include "core/preemptive_ws.hpp"
+#include "core/rebalance_ws.hpp"
+#include "core/repeated_steal_ws.hpp"
+#include "core/staged_transfer_ws.hpp"
+#include "core/threshold_ws.hpp"
+#include "core/transfer_ws.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace lsm;
+
+// --- Preemptive (Section 2.4) --------------------------------------------------
+
+TEST(Preemptive, TailRatioMatchesPrediction) {
+  core::PreemptiveWS model(0.9, 2, 4);
+  const auto fp = core::solve_fixed_point(model);
+  const double predicted = model.predicted_tail_ratio(fp.state);
+  // Measure the empirical ratio well past B + T.
+  const double measured = core::tail_decay_ratio(fp.state, 10);
+  EXPECT_NEAR(measured, predicted, 1e-4);
+}
+
+TEST(Preemptive, EarlierStealingHelpsUnderHighLoad) {
+  // Starting steal attempts before emptying (B > 0) smooths load at
+  // high lambda.
+  core::PreemptiveWS eager(0.95, 3, 4);
+  core::PreemptiveWS lazy(0.95, 0, 4);
+  const double w_eager = core::fixed_point_sojourn(eager);
+  const double w_lazy = core::fixed_point_sojourn(lazy);
+  EXPECT_LT(w_eager, w_lazy);
+}
+
+TEST(Preemptive, RejectsBadThreshold) {
+  EXPECT_THROW(core::PreemptiveWS(0.9, 2, 1), util::LogicError);
+}
+
+// --- Repeated steals (Section 2.5) ------------------------------------------------
+
+TEST(RepeatedSteal, TailRatioMatchesFormula) {
+  core::RepeatedStealWS model(0.9, 2.0, 3);
+  const auto fp = core::solve_fixed_point(model);
+  const double predicted = model.predicted_tail_ratio(fp.state);
+  const double measured = core::tail_decay_ratio(fp.state, 6);
+  EXPECT_NEAR(measured, predicted, 1e-4);
+}
+
+TEST(RepeatedSteal, RetriesImprovePerformance) {
+  core::RepeatedStealWS slow(0.95, 0.0, 3);
+  core::RepeatedStealWS fast(0.95, 4.0, 3);
+  EXPECT_LT(core::fixed_point_sojourn(fast), core::fixed_point_sojourn(slow));
+}
+
+// --- Multiple choices (Section 3.3) -----------------------------------------------
+
+TEST(MultiChoice, TwoChoicesBeatOne) {
+  for (double lambda : {0.7, 0.9, 0.95}) {
+    core::MultiChoiceWS d1(lambda, 1, 2);
+    core::MultiChoiceWS d2(lambda, 2, 2);
+    EXPECT_LT(core::fixed_point_sojourn(d2), core::fixed_point_sojourn(d1))
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(MultiChoice, DiminishingReturnsInD) {
+  // "just choosing a single victim generally yields most of the gain"
+  const double w1 = core::fixed_point_sojourn(core::MultiChoiceWS(0.9, 1, 2));
+  const double w2 = core::fixed_point_sojourn(core::MultiChoiceWS(0.9, 2, 2));
+  const double w4 = core::fixed_point_sojourn(core::MultiChoiceWS(0.9, 4, 2));
+  EXPECT_LT(w2, w1);
+  EXPECT_LT(w4, w2);
+  EXPECT_LT(w1 - w2, 2.0 * (w2 - w4) + 0.5);  // second probe's gain dominates
+}
+
+TEST(MultiChoice, TailBeatsBoundRatio) {
+  // The best possible is tails falling at lambda/(1 + d(lambda - pi_2));
+  // the measured ratio must be at least that (i.e. decay no faster).
+  core::MultiChoiceWS model(0.9, 2, 2);
+  const auto fp = core::solve_fixed_point(model);
+  const double bound = model.tail_ratio_bound(fp.state);
+  const double measured = core::tail_decay_ratio(fp.state, 6);
+  EXPECT_GT(measured, bound - 1e-6);
+  EXPECT_LT(measured, 0.9);  // still beats no-stealing decay (= lambda)
+}
+
+// --- Multiple steals (Section 3.4) --------------------------------------------------
+
+TEST(MultiSteal, StealingMoreHelpsAtHighThreshold) {
+  // With T high and free transfers, taking k > 1 tasks balances better.
+  core::MultiStealWS k1(0.9, 1, 6);
+  core::MultiStealWS k3(0.9, 3, 6);
+  EXPECT_LT(core::fixed_point_sojourn(k3), core::fixed_point_sojourn(k1));
+}
+
+TEST(MultiSteal, EnforcesPaperConstraint) {
+  EXPECT_THROW(core::MultiStealWS(0.9, 3, 4), util::LogicError);  // k > T/2
+  EXPECT_NO_THROW(core::MultiStealWS(0.9, 2, 4));
+}
+
+// --- Transfer time (Section 3.2) ------------------------------------------------------
+
+TEST(Transfer, SlowerTransfersHurt) {
+  core::TransferTimeWS fast(0.9, 1.0, 3);
+  core::TransferTimeWS slow(0.9, 0.25, 3);
+  EXPECT_LT(core::fixed_point_sojourn(fast), core::fixed_point_sojourn(slow));
+}
+
+TEST(Transfer, Table3BestThresholdAtLowLoad) {
+  // Paper: for r = 0.25 the best threshold is T = 4 = 1/r at small
+  // arrival rates (Table 3).
+  const double lambda = 0.5;
+  double best_w = 1e18;
+  std::size_t best_T = 0;
+  for (std::size_t T : {3u, 4u, 5u, 6u}) {
+    core::TransferTimeWS model(lambda, 0.25, T);
+    const double w = core::fixed_point_sojourn(model);
+    if (w < best_w) {
+      best_w = w;
+      best_T = T;
+    }
+  }
+  EXPECT_EQ(best_T, 4u);
+}
+
+TEST(Transfer, WaitingMassGrowsWithTransferTime) {
+  core::TransferTimeWS fast(0.9, 4.0, 3);
+  core::TransferTimeWS slow(0.9, 0.25, 3);
+  const auto fpf = core::solve_fixed_point(fast);
+  const auto fps = core::solve_fixed_point(slow);
+  EXPECT_GT(fps.state[slow.w_index(0)], fpf.state[fast.w_index(0)]);
+}
+
+// --- Staged transfer (Section 3.2, constant-latency remark) -----------------------
+
+TEST(StagedTransfer, OneStageMatchesExponentialTransferModel) {
+  core::StagedTransferWS staged(0.8, 0.25, 1, 4, 96);
+  core::TransferTimeWS plain(0.8, 0.25, 4, 96);
+  // Identical ODE families: probe the derivative fields.
+  ASSERT_EQ(staged.dimension(), plain.dimension());
+  for (double head : {0.3, 0.8}) {
+    ode::State x(staged.dimension(), 0.0);
+    x[0] = 0.9;
+    double v = head;
+    for (std::size_t i = 1; i <= 96; ++i) {
+      x[i] = 0.9 * v;
+      v *= 0.6;
+    }
+    x[staged.w_index(1, 0)] = 0.1;
+    x[staged.w_index(1, 1)] = 0.05;
+    ode::State da(x.size()), db(x.size());
+    staged.deriv(0.0, x, da);
+    plain.deriv(0.0, x, db);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_NEAR(da[i], db[i], 1e-13) << "i=" << i;
+    }
+  }
+}
+
+TEST(StagedTransfer, MassConservedAtFixedPoint) {
+  core::StagedTransferWS model(0.8, 0.25, 4, 4);
+  const auto fp = core::solve_fixed_point(model);
+  EXPECT_LT(fp.residual, 1e-9);
+  double mass = fp.state[0];
+  for (std::size_t m = 1; m <= 4; ++m) mass += fp.state[model.w_index(m, 0)];
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  // Throughput balance across every class.
+  double busy = fp.state[1];
+  for (std::size_t m = 1; m <= 4; ++m) busy += fp.state[model.w_index(m, 1)];
+  EXPECT_NEAR(busy, 0.8, 1e-8);
+}
+
+TEST(StagedTransfer, TransferVarianceActuallyHelps) {
+  // Opposite of service times: at equal mean, *constant* transfers are
+  // WORSE than exponential ones, because a quickly-completing transfer
+  // un-starves the waiting thief while a slow one costs little (the
+  // thief keeps serving its queue meanwhile). Verified independently by
+  // simulation (constant 7.27 vs exponential 7.05 at lambda=0.9, r=0.25).
+  const double w_exp =
+      core::fixed_point_sojourn(core::StagedTransferWS(0.9, 0.25, 1, 4));
+  const double w_const =
+      core::fixed_point_sojourn(core::StagedTransferWS(0.9, 0.25, 8, 4));
+  EXPECT_GT(w_const, w_exp);
+  EXPECT_NEAR(w_exp, 7.015, 0.01);   // == TransferTimeWS value
+  EXPECT_NEAR(w_const, 7.203, 0.02); // sim (c -> const): 7.27 +/- 0.08
+}
+
+// --- Erlang / constant service (Section 3.1) ---------------------------------------------
+
+TEST(Erlang, MoreStagesImprovePerformance) {
+  // Lower service variance -> smaller E[T]; c = 20 must beat c = 5 beat
+  // c = 1 (Table 2's observation).
+  const double w1 = core::fixed_point_sojourn(core::ErlangServiceWS(0.9, 1));
+  const double w5 = core::fixed_point_sojourn(core::ErlangServiceWS(0.9, 5));
+  const double w20 = core::fixed_point_sojourn(core::ErlangServiceWS(0.9, 20));
+  EXPECT_LT(w5, w1);
+  EXPECT_LT(w20, w5);
+}
+
+TEST(Erlang, Table2EstimateSpotCheck) {
+  // Paper Table 2, lambda = 0.5: c = 10 -> 1.405, c = 20 -> 1.391.
+  const double w10 = core::fixed_point_sojourn(core::ErlangServiceWS(0.5, 10));
+  const double w20 = core::fixed_point_sojourn(core::ErlangServiceWS(0.5, 20));
+  EXPECT_NEAR(w10, 1.405, 4e-3);
+  EXPECT_NEAR(w20, 1.391, 4e-3);
+}
+
+TEST(Erlang, StageTailsMonotone) {
+  core::ErlangServiceWS model(0.8, 5);
+  const auto fp = core::solve_fixed_point(model);
+  for (std::size_t i = 1; i <= model.truncation(); ++i) {
+    EXPECT_LE(fp.state[i], fp.state[i - 1] + 1e-12);
+  }
+}
+
+// --- Rebalance (Section 3.4) -------------------------------------------------------------
+
+TEST(Rebalance, BalancingReducesSojourn) {
+  core::RebalanceWS off(0.9, 0.0);
+  core::RebalanceWS on(0.9, 1.0);
+  EXPECT_LT(core::fixed_point_sojourn(on), core::fixed_point_sojourn(off));
+}
+
+TEST(Rebalance, ZeroRateIsNoStealing) {
+  // Truncation must be sized for the slower no-stealing decay (ratio
+  // lambda rather than the stealing ratio the default assumes).
+  core::RebalanceWS model(0.8, 0.0, 200);
+  const auto fp = core::solve_fixed_point(model);
+  // Without interactions the fixed point is the M/M/1 tail lambda^i.
+  for (std::size_t i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(fp.state[i], std::pow(0.8, static_cast<double>(i)), 1e-9);
+  }
+}
+
+TEST(Rebalance, FasterRebalancingTightensTails) {
+  const auto slow = core::solve_fixed_point(core::RebalanceWS(0.9, 0.5));
+  const auto fast = core::solve_fixed_point(core::RebalanceWS(0.9, 4.0));
+  EXPECT_LT(fast.state[5], slow.state[5]);
+}
+
+TEST(Rebalance, LoadDependentRateFunction) {
+  // Rebalancing only when load >= 3 should help less than always-on.
+  core::RebalanceWS picky(
+      0.9, [](std::size_t j) { return j >= 3 ? 1.0 : 0.0; });
+  core::RebalanceWS eager(0.9, 1.0);
+  EXPECT_LT(core::fixed_point_sojourn(eager),
+            core::fixed_point_sojourn(picky));
+}
+
+// --- Heterogeneous + spawning + static (Section 3.5) ------------------------------------------
+
+TEST(Heterogeneous, FastClassRunsShorterQueues) {
+  core::HeterogeneousWS model(0.9, 0.3, 2.0, 0.571429, 2);  // capacity ~1
+  const auto fp = core::solve_fixed_point(model);
+  EXPECT_LT(model.mean_tasks_fast(fp.state), model.mean_tasks_slow(fp.state));
+}
+
+TEST(Heterogeneous, RejectsOverload) {
+  EXPECT_THROW(core::HeterogeneousWS(1.2, 0.5, 1.0, 1.0, 2),
+               util::LogicError);
+}
+
+TEST(Spawning, InternalLoadRaisesSojourn) {
+  auto light = core::GeneralArrivalWS::spawning(0.6, 0.0, 2);
+  auto heavy = core::GeneralArrivalWS::spawning(0.6, 0.3, 2);
+  const auto fpl = core::solve_fixed_point(light);
+  const auto fph = core::solve_fixed_point(heavy);
+  EXPECT_GT(heavy.mean_tasks(fph.state), light.mean_tasks(fpl.state));
+}
+
+TEST(StaticDrain, StealingDrainsImbalancedLoadFaster) {
+  // Half the processors start with 8 tasks. With stealing, idle
+  // processors take over work and the drain completes sooner.
+  auto steal = core::GeneralArrivalWS::static_system(2, 64);
+  // A no-stealing drain: the threshold sits far above any occupied level,
+  // so steals never trigger.
+  auto no_steal = core::GeneralArrivalWS::static_system(60, 64);
+
+  const auto start_s = steal.loaded_state(0.5, 8);
+  const auto start_n = no_steal.loaded_state(0.5, 8);
+  const double t_steal = core::drain_time(steal, start_s);
+  const double t_no = core::drain_time(no_steal, start_n);
+  EXPECT_LT(t_steal, t_no);
+}
+
+TEST(StaticDrain, ThrowsWhenHorizonTooShort) {
+  auto model = core::GeneralArrivalWS::static_system(2, 64);
+  const auto start = model.loaded_state(1.0, 8);
+  EXPECT_THROW((void)core::drain_time(model, start, 1e-3, 0.5), util::Error);
+}
+
+}  // namespace

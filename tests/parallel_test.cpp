@@ -1,0 +1,124 @@
+// Unit tests for src/parallel: thread pool semantics, parallel_for/map,
+// deterministic RNG streams.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng_streams.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace lsm;
+
+TEST(ThreadPool, ExecutesSubmittedWork) {
+  par::ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ForwardsArguments) {
+  par::ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  par::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  par::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    par::ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(par::ThreadPool(0), util::LogicError);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  par::parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  par::ThreadPool pool(2);
+  bool touched = false;
+  par::parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  par::ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  par::parallel_for(pool, 10, 20, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + ... + 19
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(par::parallel_for(pool, 0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  par::ThreadPool pool(4);
+  auto out = par::parallel_map(pool, 64, [](std::size_t i) { return 2 * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(RngStreams, StreamsAreDeterministic) {
+  par::RngStreams streams(1234);
+  auto a = streams.stream(3);
+  auto b = streams.stream(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngStreams, DistinctStreamsDisagree) {
+  par::RngStreams streams(1234);
+  auto a = streams.stream(0);
+  auto b = streams.stream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngStreams, IndependentOfConstructionOrder) {
+  par::RngStreams s1(77), s2(77);
+  auto late = s1.stream(5);
+  (void)s2.stream(2);
+  auto early = s2.stream(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(late(), early());
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Tests for the name-based model factory.
+#include <gtest/gtest.h>
+
+#include "core/fixed_point.hpp"
+#include "core/registry.hpp"
+#include "core/threshold_ws.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace lsm;
+
+TEST(Registry, EveryListedNameConstructs) {
+  for (const auto& name : core::model_names()) {
+    const auto model = core::make_model(name, 0.7);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_FALSE(model->name().empty()) << name;
+    // The model is functional: its derivative field evaluates.
+    ode::State ds(model->dimension());
+    model->deriv(0.0, model->empty_state(), ds);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)core::make_model("warp-drive", 0.5), util::Error);
+}
+
+TEST(Registry, ParametersReachTheModel) {
+  const auto model = core::make_model("threshold", 0.9, {{"T", 5}});
+  EXPECT_NE(model->name().find("T=5"), std::string::npos);
+  const auto bad = [&] { (void)core::make_model("threshold", 0.9, {{"T", 1}}); };
+  EXPECT_THROW(bad(), util::LogicError);
+}
+
+TEST(Registry, TruncationOverride) {
+  const auto small = core::make_model("simple", 0.5, {{"L", 48}});
+  EXPECT_EQ(small->truncation(), 48u);
+}
+
+TEST(Registry, FactoryProducesSameFixedPointAsDirectConstruction) {
+  const auto via_registry = core::make_model("threshold", 0.9, {{"T", 3}});
+  core::ThresholdWS direct(0.9, 3);
+  const auto fp = core::solve_fixed_point(*via_registry);
+  EXPECT_NEAR(via_registry->mean_sojourn(fp.state), direct.analytic_sojourn(),
+              1e-6);
+}
+
+TEST(Registry, ComposedTakesAllKnobs) {
+  const auto model = core::make_model(
+      "composed", 0.9, {{"T", 4}, {"d", 2}, {"k", 2}, {"B", 1}, {"r", 0.5}});
+  EXPECT_NE(model->name().find("d=2"), std::string::npos);
+  EXPECT_NE(model->name().find("k=2"), std::string::npos);
+}
+
+TEST(Registry, MultiStealDefaultsThresholdToTwiceK) {
+  // k=3 without T must not violate the k <= T/2 constraint.
+  const auto model = core::make_model("multi-steal", 0.9, {{"k", 3}});
+  EXPECT_NE(model->name().find("T=6"), std::string::npos);
+}
+
+TEST(Registry, RejectsNegativeCount) {
+  EXPECT_THROW((void)core::make_model("threshold", 0.9, {{"T", -3}}),
+               util::LogicError);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Randomized invariant sweep: run the simulator across a grid of policies,
+// loads, service distributions and seeds, and check the invariants that
+// must hold for EVERY configuration:
+//
+//   * exact task conservation: initial + arrivals = completions + remaining
+//   * steal accounting: successes <= attempts; tasks_moved >= successes
+//   * tail fractions are a monotone sub-probability profile with s_0 = 1
+//   * determinism: same seed -> identical counters
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/replicate.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace lsm;
+
+sim::StealPolicy policy_by_index(int idx) {
+  switch (idx) {
+    case 0:
+      return sim::StealPolicy::none();
+    case 1:
+      return sim::StealPolicy::on_empty(2);
+    case 2:
+      return sim::StealPolicy::on_empty(4, 2, 2);
+    case 3:
+      return sim::StealPolicy::with_retries(2.0, 3);
+    case 4:
+      return sim::StealPolicy::preemptive(2, 3);
+    case 5:
+      return sim::StealPolicy::composed(1, 4, 2, 2, 1.0);
+    case 6:
+      return sim::StealPolicy::with_transfer(2.0, 3);
+    case 7:
+      return sim::StealPolicy::with_transfer(
+          1.0, 2, sim::StealPolicy::Transfer::Constant);
+    default:
+      return sim::StealPolicy::rebalance(1.0);
+  }
+}
+
+class InvariantSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(InvariantSweep, AllStructuralInvariantsHold) {
+  const auto [policy_idx, lambda, service_idx] = GetParam();
+  sim::SimConfig cfg;
+  cfg.processors = 24;
+  cfg.arrival_rate = lambda;
+  cfg.policy = policy_by_index(policy_idx);
+  cfg.service = service_idx == 0 ? sim::ServiceDistribution::exponential(1.0)
+                : service_idx == 1
+                    ? sim::ServiceDistribution::constant(1.0)
+                    : sim::ServiceDistribution::erlang(4, 1.0);
+  cfg.horizon = 800.0;
+  cfg.warmup = 100.0;
+  cfg.seed = static_cast<std::uint64_t>(1000 + policy_idx * 37 + service_idx);
+  // Mix in some static load so seeding is exercised too.
+  cfg.initial_tasks = 3;
+  cfg.loaded_count = 6;
+
+  const auto res = sim::simulate(cfg);
+
+  // Exact conservation.
+  EXPECT_EQ(res.initial_tasks + res.arrivals,
+            res.completions + res.tasks_remaining);
+
+  // Steal accounting.
+  EXPECT_LE(res.steal_successes, res.steal_attempts);
+  EXPECT_GE(res.tasks_moved, res.steal_successes);
+
+  // Tail profile shape.
+  ASSERT_FALSE(res.tail_fraction.empty());
+  EXPECT_NEAR(res.tail_fraction[0], 1.0, 1e-9);
+  for (std::size_t i = 1; i < res.tail_fraction.size(); ++i) {
+    EXPECT_LE(res.tail_fraction[i], res.tail_fraction[i - 1] + 1e-12);
+    EXPECT_GE(res.tail_fraction[i], -1e-12);
+  }
+
+  // Determinism.
+  const auto rerun = sim::simulate(cfg);
+  EXPECT_EQ(res.arrivals, rerun.arrivals);
+  EXPECT_EQ(res.completions, rerun.completions);
+  EXPECT_EQ(res.steal_attempts, rerun.steal_attempts);
+  EXPECT_EQ(res.tasks_moved, rerun.tasks_moved);
+  EXPECT_DOUBLE_EQ(res.mean_tasks, rerun.mean_tasks);
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<int, double, int>>& info) {
+  static const char* kPolicies[] = {"none",     "onempty", "choices2k2",
+                                    "retries",  "preempt", "composed",
+                                    "xferexp",  "xferconst", "rebal"};
+  static const char* kServices[] = {"exp", "const", "erlang4"};
+  return std::string(kPolicies[std::get<0>(info.param)]) + "_l" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+         "_" + kServices[std::get<2>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyGrid, InvariantSweep,
+                         ::testing::Combine(::testing::Range(0, 9),
+                                            ::testing::Values(0.5, 0.9, 0.99),
+                                            ::testing::Range(0, 3)),
+                         sweep_name);
+
+}  // namespace

@@ -1,0 +1,42 @@
+// Cross-cutting smoke tests: the headline numbers of the paper's Table 1
+// must fall out of both the closed forms and the generic numeric solver.
+#include <gtest/gtest.h>
+
+#include "lsm.hpp"
+
+namespace {
+
+using namespace lsm;
+
+TEST(Smoke, Table1ClosedFormMatchesPaper) {
+  // Paper Table 1 "Estimate" column.
+  const struct {
+    double lambda, expected;
+  } rows[] = {{0.50, 1.618}, {0.70, 2.107}, {0.80, 2.562},
+              {0.90, 3.541}, {0.95, 4.887}, {0.99, 10.462}};
+  for (const auto& row : rows) {
+    core::SimpleWS model(row.lambda);
+    EXPECT_NEAR(model.analytic_sojourn(), row.expected, 5e-4)
+        << "lambda = " << row.lambda;
+  }
+}
+
+TEST(Smoke, NumericFixedPointMatchesClosedForm) {
+  core::SimpleWS model(0.9);
+  const auto fp = core::solve_fixed_point(model);
+  EXPECT_LT(fp.residual, 1e-10);
+  EXPECT_NEAR(model.mean_sojourn(fp.state), model.analytic_sojourn(), 1e-6);
+}
+
+TEST(Smoke, SimulatorReproducesMm1) {
+  sim::SimConfig cfg;
+  cfg.processors = 16;
+  cfg.arrival_rate = 0.5;
+  cfg.policy = sim::StealPolicy::none();
+  cfg.horizon = 20000.0;
+  cfg.warmup = 2000.0;
+  const auto res = sim::simulate(cfg);
+  EXPECT_NEAR(res.mean_sojourn(), 2.0, 0.12);  // M/M/1: 1/(1-lambda)
+}
+
+}  // namespace
