@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_composed.dir/fig_composed.cpp.o"
+  "CMakeFiles/fig_composed.dir/fig_composed.cpp.o.d"
+  "fig_composed"
+  "fig_composed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_composed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

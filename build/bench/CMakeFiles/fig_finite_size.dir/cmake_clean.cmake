@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_finite_size.dir/fig_finite_size.cpp.o"
+  "CMakeFiles/fig_finite_size.dir/fig_finite_size.cpp.o.d"
+  "fig_finite_size"
+  "fig_finite_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_finite_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_heterogeneous_static.dir/fig_heterogeneous_static.cpp.o"
+  "CMakeFiles/fig_heterogeneous_static.dir/fig_heterogeneous_static.cpp.o.d"
+  "fig_heterogeneous_static"
+  "fig_heterogeneous_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_heterogeneous_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_multi_steal.dir/fig_multi_steal.cpp.o"
+  "CMakeFiles/fig_multi_steal.dir/fig_multi_steal.cpp.o.d"
+  "fig_multi_steal"
+  "fig_multi_steal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_multi_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

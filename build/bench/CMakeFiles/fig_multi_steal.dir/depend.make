@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_multi_steal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_preemptive.dir/fig_preemptive.cpp.o"
+  "CMakeFiles/fig_preemptive.dir/fig_preemptive.cpp.o.d"
+  "fig_preemptive"
+  "fig_preemptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_preemptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_relaxation.dir/fig_relaxation.cpp.o"
+  "CMakeFiles/fig_relaxation.dir/fig_relaxation.cpp.o.d"
+  "fig_relaxation"
+  "fig_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_repeated_steals.dir/fig_repeated_steals.cpp.o"
+  "CMakeFiles/fig_repeated_steals.dir/fig_repeated_steals.cpp.o.d"
+  "fig_repeated_steals"
+  "fig_repeated_steals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_repeated_steals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sharing_vs_stealing.dir/fig_sharing_vs_stealing.cpp.o"
+  "CMakeFiles/fig_sharing_vs_stealing.dir/fig_sharing_vs_stealing.cpp.o.d"
+  "fig_sharing_vs_stealing"
+  "fig_sharing_vs_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sharing_vs_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_sharing_vs_stealing.
+# This may be replaced when dependencies are built.

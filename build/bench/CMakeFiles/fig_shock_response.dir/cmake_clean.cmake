@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_shock_response.dir/fig_shock_response.cpp.o"
+  "CMakeFiles/fig_shock_response.dir/fig_shock_response.cpp.o.d"
+  "fig_shock_response"
+  "fig_shock_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_shock_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

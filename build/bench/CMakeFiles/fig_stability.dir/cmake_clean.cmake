@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_stability.dir/fig_stability.cpp.o"
+  "CMakeFiles/fig_stability.dir/fig_stability.cpp.o.d"
+  "fig_stability"
+  "fig_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

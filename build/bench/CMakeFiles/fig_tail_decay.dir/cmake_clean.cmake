@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_tail_decay.dir/fig_tail_decay.cpp.o"
+  "CMakeFiles/fig_tail_decay.dir/fig_tail_decay.cpp.o.d"
+  "fig_tail_decay"
+  "fig_tail_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_tail_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

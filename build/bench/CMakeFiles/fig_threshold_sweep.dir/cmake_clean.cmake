@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_threshold_sweep.dir/fig_threshold_sweep.cpp.o"
+  "CMakeFiles/fig_threshold_sweep.dir/fig_threshold_sweep.cpp.o.d"
+  "fig_threshold_sweep"
+  "fig_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

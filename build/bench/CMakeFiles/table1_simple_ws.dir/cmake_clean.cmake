@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_simple_ws.dir/table1_simple_ws.cpp.o"
+  "CMakeFiles/table1_simple_ws.dir/table1_simple_ws.cpp.o.d"
+  "table1_simple_ws"
+  "table1_simple_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_simple_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_constant_service.dir/table2_constant_service.cpp.o"
+  "CMakeFiles/table2_constant_service.dir/table2_constant_service.cpp.o.d"
+  "table2_constant_service"
+  "table2_constant_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_constant_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_two_choices.dir/table4_two_choices.cpp.o"
+  "CMakeFiles/table4_two_choices.dir/table4_two_choices.cpp.o.d"
+  "table4_two_choices"
+  "table4_two_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_two_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_cli.dir/model_cli.cpp.o"
+  "CMakeFiles/model_cli.dir/model_cli.cpp.o.d"
+  "model_cli"
+  "model_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_drain.dir/static_drain.cpp.o"
+  "CMakeFiles/static_drain.dir/static_drain.cpp.o.d"
+  "static_drain"
+  "static_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

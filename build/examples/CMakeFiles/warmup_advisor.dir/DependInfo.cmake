@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/warmup_advisor.cpp" "examples/CMakeFiles/warmup_advisor.dir/warmup_advisor.cpp.o" "gcc" "examples/CMakeFiles/warmup_advisor.dir/warmup_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lsm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/lsm_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lsm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

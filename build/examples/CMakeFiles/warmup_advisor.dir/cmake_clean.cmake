@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_advisor.dir/warmup_advisor.cpp.o"
+  "CMakeFiles/warmup_advisor.dir/warmup_advisor.cpp.o.d"
+  "warmup_advisor"
+  "warmup_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/compare.cpp" "src/analysis/CMakeFiles/lsm_analysis.dir/compare.cpp.o" "gcc" "src/analysis/CMakeFiles/lsm_analysis.dir/compare.cpp.o.d"
+  "/root/repo/src/analysis/convergence.cpp" "src/analysis/CMakeFiles/lsm_analysis.dir/convergence.cpp.o" "gcc" "src/analysis/CMakeFiles/lsm_analysis.dir/convergence.cpp.o.d"
+  "/root/repo/src/analysis/finite_size.cpp" "src/analysis/CMakeFiles/lsm_analysis.dir/finite_size.cpp.o" "gcc" "src/analysis/CMakeFiles/lsm_analysis.dir/finite_size.cpp.o.d"
+  "/root/repo/src/analysis/spectral.cpp" "src/analysis/CMakeFiles/lsm_analysis.dir/spectral.cpp.o" "gcc" "src/analysis/CMakeFiles/lsm_analysis.dir/spectral.cpp.o.d"
+  "/root/repo/src/analysis/stability.cpp" "src/analysis/CMakeFiles/lsm_analysis.dir/stability.cpp.o" "gcc" "src/analysis/CMakeFiles/lsm_analysis.dir/stability.cpp.o.d"
+  "/root/repo/src/analysis/transient.cpp" "src/analysis/CMakeFiles/lsm_analysis.dir/transient.cpp.o" "gcc" "src/analysis/CMakeFiles/lsm_analysis.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/lsm_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lsm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_analysis.dir/compare.cpp.o"
+  "CMakeFiles/lsm_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/lsm_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/lsm_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/lsm_analysis.dir/finite_size.cpp.o"
+  "CMakeFiles/lsm_analysis.dir/finite_size.cpp.o.d"
+  "CMakeFiles/lsm_analysis.dir/spectral.cpp.o"
+  "CMakeFiles/lsm_analysis.dir/spectral.cpp.o.d"
+  "CMakeFiles/lsm_analysis.dir/stability.cpp.o"
+  "CMakeFiles/lsm_analysis.dir/stability.cpp.o.d"
+  "CMakeFiles/lsm_analysis.dir/transient.cpp.o"
+  "CMakeFiles/lsm_analysis.dir/transient.cpp.o.d"
+  "liblsm_analysis.a"
+  "liblsm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composed_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/composed_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/composed_ws.cpp.o.d"
+  "/root/repo/src/core/erlang_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/erlang_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/erlang_ws.cpp.o.d"
+  "/root/repo/src/core/fixed_point.cpp" "src/core/CMakeFiles/lsm_core.dir/fixed_point.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/core/general_arrival_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/general_arrival_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/general_arrival_ws.cpp.o.d"
+  "/root/repo/src/core/heterogeneous_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/heterogeneous_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/heterogeneous_ws.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/lsm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/lsm_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/multi_choice_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/multi_choice_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/multi_choice_ws.cpp.o.d"
+  "/root/repo/src/core/multi_class_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/multi_class_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/multi_class_ws.cpp.o.d"
+  "/root/repo/src/core/multi_steal_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/multi_steal_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/multi_steal_ws.cpp.o.d"
+  "/root/repo/src/core/no_stealing.cpp" "src/core/CMakeFiles/lsm_core.dir/no_stealing.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/no_stealing.cpp.o.d"
+  "/root/repo/src/core/preemptive_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/preemptive_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/preemptive_ws.cpp.o.d"
+  "/root/repo/src/core/rebalance_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/rebalance_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/rebalance_ws.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/lsm_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/repeated_steal_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/repeated_steal_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/repeated_steal_ws.cpp.o.d"
+  "/root/repo/src/core/staged_transfer_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/staged_transfer_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/staged_transfer_ws.cpp.o.d"
+  "/root/repo/src/core/threshold_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/threshold_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/threshold_ws.cpp.o.d"
+  "/root/repo/src/core/transfer_ws.cpp" "src/core/CMakeFiles/lsm_core.dir/transfer_ws.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/transfer_ws.cpp.o.d"
+  "/root/repo/src/core/work_sharing.cpp" "src/core/CMakeFiles/lsm_core.dir/work_sharing.cpp.o" "gcc" "src/core/CMakeFiles/lsm_core.dir/work_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/lsm_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/banded.cpp" "src/ode/CMakeFiles/lsm_ode.dir/banded.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/banded.cpp.o.d"
+  "/root/repo/src/ode/implicit.cpp" "src/ode/CMakeFiles/lsm_ode.dir/implicit.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/implicit.cpp.o.d"
+  "/root/repo/src/ode/integrator.cpp" "src/ode/CMakeFiles/lsm_ode.dir/integrator.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/integrator.cpp.o.d"
+  "/root/repo/src/ode/linalg.cpp" "src/ode/CMakeFiles/lsm_ode.dir/linalg.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/linalg.cpp.o.d"
+  "/root/repo/src/ode/newton.cpp" "src/ode/CMakeFiles/lsm_ode.dir/newton.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/newton.cpp.o.d"
+  "/root/repo/src/ode/richardson.cpp" "src/ode/CMakeFiles/lsm_ode.dir/richardson.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/richardson.cpp.o.d"
+  "/root/repo/src/ode/steady_state.cpp" "src/ode/CMakeFiles/lsm_ode.dir/steady_state.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/steady_state.cpp.o.d"
+  "/root/repo/src/ode/steppers.cpp" "src/ode/CMakeFiles/lsm_ode.dir/steppers.cpp.o" "gcc" "src/ode/CMakeFiles/lsm_ode.dir/steppers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

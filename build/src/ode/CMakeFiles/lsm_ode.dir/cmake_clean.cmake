@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_ode.dir/banded.cpp.o"
+  "CMakeFiles/lsm_ode.dir/banded.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/implicit.cpp.o"
+  "CMakeFiles/lsm_ode.dir/implicit.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/integrator.cpp.o"
+  "CMakeFiles/lsm_ode.dir/integrator.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/linalg.cpp.o"
+  "CMakeFiles/lsm_ode.dir/linalg.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/newton.cpp.o"
+  "CMakeFiles/lsm_ode.dir/newton.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/richardson.cpp.o"
+  "CMakeFiles/lsm_ode.dir/richardson.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/steady_state.cpp.o"
+  "CMakeFiles/lsm_ode.dir/steady_state.cpp.o.d"
+  "CMakeFiles/lsm_ode.dir/steppers.cpp.o"
+  "CMakeFiles/lsm_ode.dir/steppers.cpp.o.d"
+  "liblsm_ode.a"
+  "liblsm_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

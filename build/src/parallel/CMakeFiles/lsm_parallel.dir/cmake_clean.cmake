@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/lsm_parallel.dir/thread_pool.cpp.o.d"
+  "liblsm_parallel.a"
+  "liblsm_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distributions.cpp" "src/sim/CMakeFiles/lsm_sim.dir/distributions.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/distributions.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/lsm_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/replicate.cpp" "src/sim/CMakeFiles/lsm_sim.dir/replicate.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/replicate.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/lsm_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/lsm_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lsm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_sim.dir/distributions.cpp.o"
+  "CMakeFiles/lsm_sim.dir/distributions.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/policy.cpp.o"
+  "CMakeFiles/lsm_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/replicate.cpp.o"
+  "CMakeFiles/lsm_sim.dir/replicate.cpp.o.d"
+  "CMakeFiles/lsm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lsm_sim.dir/simulator.cpp.o.d"
+  "liblsm_sim.a"
+  "liblsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_util.dir/cli.cpp.o"
+  "CMakeFiles/lsm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lsm_util.dir/env.cpp.o"
+  "CMakeFiles/lsm_util.dir/env.cpp.o.d"
+  "CMakeFiles/lsm_util.dir/statistics.cpp.o"
+  "CMakeFiles/lsm_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/lsm_util.dir/table.cpp.o"
+  "CMakeFiles/lsm_util.dir/table.cpp.o.d"
+  "liblsm_util.a"
+  "liblsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

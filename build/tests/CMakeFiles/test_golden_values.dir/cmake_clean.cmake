@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_values.dir/golden_values_test.cpp.o"
+  "CMakeFiles/test_golden_values.dir/golden_values_test.cpp.o.d"
+  "test_golden_values"
+  "test_golden_values.pdb"
+  "test_golden_values[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

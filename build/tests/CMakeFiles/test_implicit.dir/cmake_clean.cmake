@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_implicit.dir/implicit_test.cpp.o"
+  "CMakeFiles/test_implicit.dir/implicit_test.cpp.o.d"
+  "test_implicit"
+  "test_implicit.pdb"
+  "test_implicit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

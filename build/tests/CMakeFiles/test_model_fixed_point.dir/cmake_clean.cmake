@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_fixed_point.dir/model_fixed_point_test.cpp.o"
+  "CMakeFiles/test_model_fixed_point.dir/model_fixed_point_test.cpp.o.d"
+  "test_model_fixed_point"
+  "test_model_fixed_point.pdb"
+  "test_model_fixed_point[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_reduction.dir/model_reduction_test.cpp.o"
+  "CMakeFiles/test_model_reduction.dir/model_reduction_test.cpp.o.d"
+  "test_model_reduction"
+  "test_model_reduction.pdb"
+  "test_model_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

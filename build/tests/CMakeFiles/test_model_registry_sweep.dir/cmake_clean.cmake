@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_registry_sweep.dir/model_registry_sweep_test.cpp.o"
+  "CMakeFiles/test_model_registry_sweep.dir/model_registry_sweep_test.cpp.o.d"
+  "test_model_registry_sweep"
+  "test_model_registry_sweep.pdb"
+  "test_model_registry_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_registry_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

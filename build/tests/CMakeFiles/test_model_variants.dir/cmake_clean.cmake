@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_variants.dir/model_variants_test.cpp.o"
+  "CMakeFiles/test_model_variants.dir/model_variants_test.cpp.o.d"
+  "test_model_variants"
+  "test_model_variants.pdb"
+  "test_model_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_policy.dir/sim_policy_test.cpp.o"
+  "CMakeFiles/test_sim_policy.dir/sim_policy_test.cpp.o.d"
+  "test_sim_policy"
+  "test_sim_policy.pdb"
+  "test_sim_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectral_metrics.dir/spectral_metrics_test.cpp.o"
+  "CMakeFiles/test_spectral_metrics.dir/spectral_metrics_test.cpp.o.d"
+  "test_spectral_metrics"
+  "test_spectral_metrics.pdb"
+  "test_spectral_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectral_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_sharing.dir/work_sharing_test.cpp.o"
+  "CMakeFiles/test_work_sharing.dir/work_sharing_test.cpp.o.d"
+  "test_work_sharing"
+  "test_work_sharing.pdb"
+  "test_work_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

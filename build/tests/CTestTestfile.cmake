@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_ode[1]_include.cmake")
+include("/root/repo/build/tests/test_implicit[1]_include.cmake")
+include("/root/repo/build/tests/test_model_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_model_fixed_point[1]_include.cmake")
+include("/root/repo/build/tests/test_model_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_model_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_spectral_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_invariant_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_trajectory[1]_include.cmake")
+include("/root/repo/build/tests/test_work_sharing[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline[1]_include.cmake")
+include("/root/repo/build/tests/test_model_registry_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_class[1]_include.cmake")
+include("/root/repo/build/tests/test_golden_values[1]_include.cmake")
