@@ -1,12 +1,18 @@
 // Shared scaffolding for the table/figure reproduction benches.
 //
-// Default fidelity is scaled for CI speed (the table *shape* is already
-// clear); LSM_PAPER=1 switches to the paper's 10 x 100,000 s methodology.
+// Fidelity presets live in exp::Fidelity: CI-speed by default, the
+// paper's 10 x 100,000 s methodology under LSM_PAPER=1. Table/figure
+// benches that sweep a model x lambda grid should build an
+// exp::ExperimentSpec and run it through exp::Runner (sharded, cached,
+// with manifest/CSV artifacts); the helpers here remain for one-off
+// simulations that do not fit a grid.
 #pragma once
 
 #include <cstddef>
 #include <iostream>
 
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/replicate.hpp"
 #include "sim/simulator.hpp"
@@ -15,19 +21,9 @@
 
 namespace lsm::bench {
 
-struct Fidelity {
-  std::size_t replications;
-  double horizon;
-  double warmup;
-  const char* label;
-};
+using Fidelity = exp::Fidelity;
 
-inline Fidelity fidelity() {
-  if (util::paper_fidelity()) {
-    return {10, 100000.0, 10000.0, "paper (10 x 100,000s, 10,000s warmup)"};
-  }
-  return {3, 20000.0, 2000.0, "quick (3 x 20,000s, 2,000s warmup)"};
-}
+inline Fidelity fidelity() { return exp::Fidelity::from_env(); }
 
 /// Mean sojourn from a replicated simulation at the bench's fidelity.
 inline double sim_mean_sojourn(sim::SimConfig cfg, const Fidelity& f,
@@ -35,7 +31,10 @@ inline double sim_mean_sojourn(sim::SimConfig cfg, const Fidelity& f,
   cfg.horizon = f.horizon;
   cfg.warmup = f.warmup;
   cfg.seed = seed;
-  return sim::replicate(cfg, f.replications, pool).sojourn.mean;
+  return sim::replicate(cfg, sim::ReplicateOptions{
+                                 .replications = f.replications,
+                                 .pool = &pool})
+      .sojourn.mean;
 }
 
 inline void print_header(const char* title, const Fidelity& f) {

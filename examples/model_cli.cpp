@@ -1,44 +1,98 @@
 // Generic model front-end: solve the fixed point of any model variant by
 // name and print its steady-state profile -- expected time in system,
 // busy fraction, tail distribution, decay ratio, and relaxation spectrum.
+// Flag parsing and help text are derived from core::model_specs(), so a
+// newly registered model (and its parameters) shows up here untouched.
 //
-//   ./model_cli <model> [--lambda=0.9] [--T=..] [--d=..] [--k=..]
-//               [--B=..] [--r=..] [--c=..] [--f=..] [--mu_f=..]
-//               [--mu_s=..] [--int=..] [--L=..] [--tails=16] [--csv]
+//   ./model_cli <model> [--lambda=0.9] [--<param>=..] [--tails=16]
+//               [--csv] [--json]
 //   ./model_cli --list
 #include <iostream>
 
 #include "core/registry.hpp"
 #include "lsm.hpp"
 
+namespace {
+
+void print_model_list() {
+  std::cout << "models:\n";
+  for (const auto& spec : lsm::core::model_specs()) {
+    std::cout << "  " << spec.name << " -- " << spec.description << "\n";
+    for (const auto& p : spec.params) {
+      std::cout << "      --" << p.key << "=" << p.fallback << "  " << p.doc
+                << "\n";
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const lsm::util::Args args(argc, argv);
   if (args.flag("list") || args.positional().empty()) {
-    std::cout << "usage: model_cli <model> [--lambda=0.9] [--T=2] ...\n"
-              << "models:\n";
-    for (const auto& n : lsm::core::model_names()) std::cout << "  " << n << "\n";
+    std::cout << "usage: model_cli <model> [--lambda=0.9] [--<param>=value] "
+                 "[--tails=16] [--csv] [--json]\n";
+    print_model_list();
     return args.flag("list") ? 0 : 1;
   }
 
   const std::string name = args.positional().front();
   const double lambda = args.get("lambda", 0.9);
-  lsm::core::ModelParams params;
-  for (const char* key : {"T", "d", "k", "B", "r", "c", "f", "mu_f", "mu_s",
-                          "int", "L"}) {
-    if (args.has(key)) params[key] = args.get(key, 0.0);
-  }
 
   try {
+    // Accept exactly the parameters the chosen model declares; reject
+    // anything else so a mistyped flag cannot be silently ignored.
+    const auto& spec = lsm::core::model_spec(name);
+    lsm::core::ModelParams params;
+    for (const auto& key : args.keys()) {
+      if (key == "lambda" || key == "tails" || key == "csv" || key == "json" ||
+          key == "list") {
+        continue;
+      }
+      if (!spec.accepts(key)) {
+        throw lsm::util::Error("model '" + name + "' does not take --" + key +
+                               " (see --list)");
+      }
+      params[key] = args.get(key, spec.fallback(key));
+    }
+
     const auto model = lsm::core::make_model(name, lambda, params);
     const auto fp = lsm::core::solve_fixed_point(*model);
     const auto tails = static_cast<std::size_t>(args.get("tails", 16L));
+    const std::size_t shown = std::min(tails, model->truncation());
 
     if (args.flag("csv")) {
       lsm::util::Table t({"i", "s_i"});
-      for (std::size_t i = 0; i <= std::min(tails, model->truncation()); ++i) {
+      for (std::size_t i = 0; i <= shown; ++i) {
         t.add_row({std::to_string(i), lsm::util::Table::fmt(fp.state[i], 9)});
       }
       t.write_csv(std::cout);
+      return 0;
+    }
+
+    if (args.flag("json")) {
+      auto doc = lsm::util::Json::object();
+      doc["model"] = model->name();
+      doc["lambda"] = lambda;
+      auto params_json = lsm::util::Json::object();
+      for (const auto& [key, value] : params) params_json[key] = value;
+      doc["params"] = std::move(params_json);
+      doc["residual"] = fp.residual;
+      doc["polished"] = fp.polished;
+      doc["mean_sojourn"] = model->mean_sojourn(fp.state);
+      doc["mean_tasks"] = model->mean_tasks(fp.state);
+      doc["busy_fraction"] = lsm::core::busy_fraction(fp.state);
+      if (model->dimension() <= 1500) {
+        const auto s = lsm::analysis::dominant_relaxation_mode(*model, fp.state);
+        if (s.converged) {
+          doc["spectral_gap"] = s.spectral_gap;
+          doc["relaxation_time"] = s.relaxation_time;
+        }
+      }
+      auto tail = lsm::util::Json::array();
+      for (std::size_t i = 0; i <= shown; ++i) tail.push_back(fp.state[i]);
+      doc["tail"] = std::move(tail);
+      std::cout << doc.dump(2) << "\n";
       return 0;
     }
 
@@ -51,14 +105,16 @@ int main(int argc, char** argv) {
               << "busy fraction    : " << lsm::core::busy_fraction(fp.state)
               << "\n";
     if (model->dimension() <= 1500) {
-      const auto spec = lsm::analysis::dominant_relaxation_mode(*model, fp.state);
-      if (spec.converged) {
-        std::cout << "spectral gap     : " << spec.spectral_gap
-                  << "  (relaxation time ~ " << spec.relaxation_time << ")\n";
+      const auto spec_mode =
+          lsm::analysis::dominant_relaxation_mode(*model, fp.state);
+      if (spec_mode.converged) {
+        std::cout << "spectral gap     : " << spec_mode.spectral_gap
+                  << "  (relaxation time ~ " << spec_mode.relaxation_time
+                  << ")\n";
       }
     }
     lsm::util::Table t({"i", "s_i"});
-    for (std::size_t i = 0; i <= std::min(tails, model->truncation()); ++i) {
+    for (std::size_t i = 0; i <= shown; ++i) {
       t.add_row({std::to_string(i), lsm::util::Table::fmt(fp.state[i], 6)});
     }
     t.print(std::cout);

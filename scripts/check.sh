@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over
+# the concurrency-sensitive pieces (thread pool + experiment runner).
+#
+#   scripts/check.sh              # everything (~2 min)
+#   SKIP_TSAN=1 scripts/check.sh  # plain build + ctest only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier 1: build + ctest"
+cmake -B build -G Ninja >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [ "${SKIP_TSAN:-0}" != "1" ]; then
+  echo "== tsan: parallel + runner determinism under -fsanitize=thread"
+  cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$jobs" --target test_parallel test_exp_runner
+  ./build-tsan/tests/test_parallel
+  ./build-tsan/tests/test_exp_runner \
+    --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable'
+fi
+
+echo "check: all green"

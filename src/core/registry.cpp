@@ -33,11 +33,122 @@ std::size_t get_n(const ModelParams& p, const std::string& key,
   return static_cast<std::size_t>(it->second);
 }
 
+const ParamSpec kTrunc{"L", 0.0, "truncation override (0 = auto-size)"};
+const ParamSpec kThresh{"T", 2.0, "steal threshold T (victim minimum load)"};
+
 }  // namespace
+
+bool ModelSpec::accepts(const std::string& key) const {
+  for (const auto& p : params) {
+    if (p.key == key) return true;
+  }
+  return false;
+}
+
+double ModelSpec::fallback(const std::string& key) const {
+  for (const auto& p : params) {
+    if (p.key == key) return p.fallback;
+  }
+  throw util::Error("model " + name + " has no parameter '" + key + "'");
+}
+
+const std::vector<ModelSpec>& model_specs() {
+  static const std::vector<ModelSpec> specs = {
+      {"no-stealing",
+       "independent M/M/1 queues, the paper's no-migration baseline",
+       {kTrunc}},
+      {"simple",
+       "steal one task on empty from a random victim with >= 2 tasks "
+       "(Section 2.2)",
+       {kTrunc}},
+      {"threshold",
+       "steal on empty only from victims with >= T tasks (Section 2.3)",
+       {kThresh, kTrunc}},
+      {"preemptive",
+       "start stealing at load <= B from victims >= load + T (Section 2.4)",
+       {{"B", 1.0, "begin stealing at load <= B"}, kThresh, kTrunc}},
+      {"repeated",
+       "retry failed steals at rate r while empty (Section 2.5)",
+       {{"r", 1.0, "steal retry rate while idle"}, kThresh, kTrunc}},
+      {"multi-choice",
+       "probe d random victims, steal from the most loaded (Section 3.3)",
+       {{"d", 2.0, "victim choices per attempt"}, kThresh, kTrunc}},
+      {"multi-steal",
+       "steal k tasks per success (Section 3.4); requires k <= T/2",
+       {{"k", 2.0, "tasks taken per steal"},
+        {"T", 4.0, "steal threshold T (default 2k)"},
+        kTrunc}},
+      {"composed",
+       "all stealing extensions layered: threshold, d choices, k tasks, "
+       "preemption, retries (Section 3 'combined as desired')",
+       {kThresh,
+        {"d", 1.0, "victim choices per attempt"},
+        {"k", 1.0, "tasks taken per steal"},
+        {"B", 0.0, "begin stealing at load <= B"},
+        {"r", 0.0, "steal retry rate while idle (0 = off)"},
+        kTrunc}},
+      {"erlang",
+       "method-of-stages approximation of constant service times with c "
+       "stages (Section 3.1)",
+       {{"c", 10.0, "Erlang service stages"}, kTrunc}},
+      {"transfer",
+       "stolen tasks spend Exp(1/r) in transit (Section 3.2)",
+       {{"r", 0.25, "transfer completion rate (mean transfer 1/r)"}, kThresh,
+        kTrunc}},
+      {"staged-transfer",
+       "Erlang-c transfer latency instead of exponential (Sections 3.1+3.2)",
+       {{"r", 0.25, "transfer completion rate (mean transfer 1/r)"},
+        {"c", 4.0, "transfer stages"},
+        kThresh,
+        kTrunc}},
+      {"rebalance",
+       "pairwise even re-balancing at rate r while busy "
+       "(Rudolph-Slivkin-Allalouf-Upfal, Section 3.4)",
+       {{"r", 1.0, "re-balance rate while busy"}, kTrunc}},
+      {"heterogeneous",
+       "two processor classes: fraction f fast at rate mu_f, rest at mu_s "
+       "(Section 3.5)",
+       {{"f", 0.25, "fraction of fast processors"},
+        {"mu_f", 2.0, "fast service rate"},
+        {"mu_s", 0.8, "slow service rate"},
+        kThresh,
+        kTrunc}},
+      {"spawning",
+       "busy processors spawn extra internal work at rate int (Section 3.5 "
+       "load-dependent arrivals)",
+       {{"int", 0.0, "internal spawn rate while busy"}, kThresh, kTrunc}},
+      {"sharing",
+       "sender-initiated work sharing: forward arrivals hitting load >= S "
+       "(the introduction's foil)",
+       {{"S", 2.0, "forwarding threshold"}, kTrunc}},
+  };
+  return specs;
+}
+
+const ModelSpec& model_spec(const std::string& name) {
+  for (const auto& spec : model_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw util::Error("unknown model: " + name +
+                    " (see lsm::core::model_names())");
+}
 
 std::unique_ptr<MeanFieldModel> make_model(const std::string& name,
                                            double lambda,
                                            const ModelParams& params) {
+  const ModelSpec& spec = model_spec(name);
+  for (const auto& [key, value] : params) {
+    if (!spec.accepts(key)) {
+      std::string accepted;
+      for (const auto& p : spec.params) {
+        if (!accepted.empty()) accepted += ", ";
+        accepted += p.key;
+      }
+      throw util::Error("model " + name + " does not accept parameter '" +
+                        key + "' (accepts: " + accepted + ")");
+    }
+  }
+
   const std::size_t L = get_n(params, "L", 0);
   const std::size_t T = get_n(params, "T", 2);
   if (name == "no-stealing") {
@@ -101,17 +212,16 @@ std::unique_ptr<MeanFieldModel> make_model(const std::string& name,
     return std::make_unique<GeneralArrivalWS>(GeneralArrivalWS::spawning(
         lambda, get(params, "int", 0.0), T, L));
   }
-  throw util::Error("unknown model: " + name +
-                    " (see lsm::core::model_names())");
+  throw util::Error("model " + name + " is listed but has no constructor");
 }
 
 const std::vector<std::string>& model_names() {
-  static const std::vector<std::string> names = {
-      "no-stealing", "simple",          "threshold",  "preemptive",
-      "repeated",    "multi-choice",    "multi-steal", "composed",
-      "erlang",      "transfer",        "staged-transfer", "rebalance",
-      "heterogeneous", "spawning", "sharing",
-  };
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(model_specs().size());
+    for (const auto& spec : model_specs()) out.push_back(spec.name);
+    return out;
+  }();
   return names;
 }
 

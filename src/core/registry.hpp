@@ -1,6 +1,8 @@
 // Name-based model factory so tools and scripts can build any model
 // variant from strings ("threshold", T=4) without compiling against each
-// class. Parameter keys follow the paper's symbols.
+// class, plus the introspection surface (model_specs) that CLIs and the
+// experiment runner derive their parameter handling from. Parameter keys
+// follow the paper's symbols.
 #pragma once
 
 #include <map>
@@ -12,21 +14,44 @@
 
 namespace lsm::core {
 
-/// Extra parameters by short name; every entry is optional and defaulted:
-///   T (threshold, 2)    S (sharing threshold, 2)
-///   d (choices, 1)      k (steal count, 1)
-///   B (begin steal, 0)  r (retry/transfer/rebalance rate, model default)
-///   c (stages, 10)      f (fast fraction, 0.25)
-///   mu_f / mu_s (2.0 / 0.8)   int (internal spawn rate, 0)
-///   L (truncation override, auto)
+/// Extra parameters by short name. Accepted keys, defaults and docs are
+/// per model: see model_specs(). make_model rejects keys the named model
+/// does not accept.
 using ModelParams = std::map<std::string, double>;
+
+/// One accepted parameter of a model: key, default used when the key is
+/// absent, and a one-line description for --list style help.
+struct ParamSpec {
+  std::string key;
+  double fallback = 0.0;
+  std::string doc;
+};
+
+/// Introspection record for one registered model.
+struct ModelSpec {
+  std::string name;
+  std::string description;
+  std::vector<ParamSpec> params;
+
+  [[nodiscard]] bool accepts(const std::string& key) const;
+  /// The default for `key`; throws util::Error when the key is unknown.
+  [[nodiscard]] double fallback(const std::string& key) const;
+};
+
+/// Every registered model with its accepted parameters, in presentation
+/// order. The single source of truth model_names()/make_model dispatch on.
+[[nodiscard]] const std::vector<ModelSpec>& model_specs();
+
+/// Spec for one model name; throws util::Error for an unknown name.
+[[nodiscard]] const ModelSpec& model_spec(const std::string& name);
 
 /// Builds a model by name. Known names (see model_names()):
 ///   no-stealing, simple, threshold, preemptive, repeated, multi-choice,
 ///   multi-steal, composed, erlang, transfer, staged-transfer, rebalance,
 ///   heterogeneous, spawning, sharing
-/// Throws util::Error for an unknown name, util::LogicError for invalid
-/// parameter combinations (propagated from the model's constructor).
+/// Throws util::Error for an unknown name or a parameter key the model
+/// does not accept, util::LogicError for invalid parameter combinations
+/// (propagated from the model's constructor).
 [[nodiscard]] std::unique_ptr<MeanFieldModel> make_model(
     const std::string& name, double lambda, const ModelParams& params = {});
 

@@ -1,0 +1,184 @@
+#include "exp/cache.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace lsm::exp {
+
+namespace {
+
+constexpr const char* kMagic = "lsm-job 1";
+
+void put(std::string& out, const char* name, double v) {
+  out += name;
+  out += ' ';
+  out += util::Json::number_to_string(v);
+  out += '\n';
+}
+
+void put(std::string& out, const char* name, std::uint64_t v) {
+  out += name;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void put(std::string& out, const char* name, const util::Summary& s) {
+  out += name;
+  out += ' ';
+  out += util::Json::number_to_string(s.mean);
+  out += ' ';
+  out += util::Json::number_to_string(s.half_width);
+  out += ' ';
+  out += util::Json::number_to_string(s.stddev);
+  out += ' ';
+  out += std::to_string(s.n);
+  out += '\n';
+}
+
+void put(std::string& out, const char* name, const std::vector<double>& xs) {
+  out += name;
+  for (const double x : xs) {
+    out += ' ';
+    out += util::Json::number_to_string(x);
+  }
+  out += '\n';
+}
+
+bool parse_double(std::istringstream& in, double& v) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  const auto* end = tok.data() + tok.size();
+  return std::from_chars(tok.data(), end, v).ptr == end;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::default_dir() {
+  if (const char* v = std::getenv("LSM_CACHE_DIR")) return v;
+  return ".lsm-cache";
+}
+
+bool ResultCache::load(const std::string& key, JobResult& out) const {
+  if (!enabled()) return false;
+  const auto path = std::filesystem::path(dir_) / (key + ".job");
+  std::ifstream file(path);
+  if (!file) return false;
+
+  std::string line;
+  if (!std::getline(file, line) || line != kMagic) return false;
+
+  JobResult r;
+  while (std::getline(file, line)) {
+    std::istringstream in(line);
+    std::string name;
+    if (!(in >> name)) continue;
+    bool ok = true;
+    const auto summary = [&](util::Summary& s) {
+      std::uint64_t n = 0;
+      ok = parse_double(in, s.mean) && parse_double(in, s.half_width) &&
+           parse_double(in, s.stddev) && static_cast<bool>(in >> n);
+      s.n = n;
+    };
+    const auto vec = [&](std::vector<double>& xs) {
+      double v = 0.0;
+      while (parse_double(in, v)) xs.push_back(v);
+    };
+    if (name == "has_estimate") {
+      std::uint64_t v = 0;
+      ok = static_cast<bool>(in >> v);
+      r.has_estimate = v != 0;
+    } else if (name == "est_sojourn") {
+      ok = parse_double(in, r.est_sojourn);
+    } else if (name == "est_mean_tasks") {
+      ok = parse_double(in, r.est_mean_tasks);
+    } else if (name == "est_residual") {
+      ok = parse_double(in, r.est_residual);
+    } else if (name == "est_tail") {
+      vec(r.est_tail);
+    } else if (name == "has_sim") {
+      std::uint64_t v = 0;
+      ok = static_cast<bool>(in >> v);
+      r.has_sim = v != 0;
+    } else if (name == "sim_sojourn") {
+      summary(r.sim_sojourn);
+    } else if (name == "sim_mean_tasks") {
+      summary(r.sim_mean_tasks);
+    } else if (name == "sim_tail") {
+      vec(r.sim_tail);
+    } else if (name == "steal_attempts") {
+      ok = static_cast<bool>(in >> r.steal_attempts);
+    } else if (name == "steal_successes") {
+      ok = static_cast<bool>(in >> r.steal_successes);
+    } else if (name == "tasks_moved") {
+      ok = static_cast<bool>(in >> r.tasks_moved);
+    } else if (name == "forwards") {
+      ok = static_cast<bool>(in >> r.forwards);
+    } else if (name == "message_rate") {
+      ok = parse_double(in, r.message_rate);
+    } else if (name == "events") {
+      ok = static_cast<bool>(in >> r.events);
+    }  // unknown names are skipped for forward compatibility
+    if (!ok) return false;
+  }
+
+  // Keep the caller's identity/observability fields.
+  r.label = out.label;
+  r.lambda = out.lambda;
+  r.key = out.key;
+  r.cache_hit = out.cache_hit;
+  r.wall_seconds = out.wall_seconds;
+  out = std::move(r);
+  return true;
+}
+
+void ResultCache::store(const std::string& key, const JobResult& r) const {
+  if (!enabled()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw util::Error("cannot create cache dir " + dir_);
+
+  std::string out(kMagic);
+  out += '\n';
+  put(out, "has_estimate", static_cast<std::uint64_t>(r.has_estimate));
+  if (r.has_estimate) {
+    put(out, "est_sojourn", r.est_sojourn);
+    put(out, "est_mean_tasks", r.est_mean_tasks);
+    put(out, "est_residual", r.est_residual);
+    put(out, "est_tail", r.est_tail);
+  }
+  put(out, "has_sim", static_cast<std::uint64_t>(r.has_sim));
+  if (r.has_sim) {
+    put(out, "sim_sojourn", r.sim_sojourn);
+    put(out, "sim_mean_tasks", r.sim_mean_tasks);
+    put(out, "sim_tail", r.sim_tail);
+    put(out, "steal_attempts", r.steal_attempts);
+    put(out, "steal_successes", r.steal_successes);
+    put(out, "tasks_moved", r.tasks_moved);
+    put(out, "forwards", r.forwards);
+    put(out, "message_rate", r.message_rate);
+  }
+  put(out, "events", r.events);
+
+  const auto path = fs::path(dir_) / (key + ".job");
+  const auto tmp = fs::path(dir_) / (key + ".tmp");
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) throw util::Error("cannot write cache entry " + tmp.string());
+    file << out;
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) throw util::Error("cannot publish cache entry " + path.string());
+}
+
+}  // namespace lsm::exp

@@ -1,0 +1,42 @@
+// On-disk result cache for experiment jobs, keyed by Job::key() (a
+// content hash of the full job configuration). One small text file per
+// completed job; re-running a spec only computes jobs whose configuration
+// changed. Entries are written atomically (tmp file + rename) so
+// concurrent runs sharing a cache directory never observe partial files.
+//
+// Layout: <dir>/<16-hex-key>.job — "lsm-job 1" magic line followed by
+// `name value...` lines (doubles in shortest round-trip form, so a cache
+// round-trip reproduces results bit-for-bit).
+#pragma once
+
+#include <string>
+
+#include "exp/result.hpp"
+
+namespace lsm::exp {
+
+class ResultCache {
+ public:
+  /// `dir` may be empty: every load misses and store is a no-op.
+  explicit ResultCache(std::string dir);
+
+  /// LSM_CACHE_DIR if set, otherwise ".lsm-cache".
+  [[nodiscard]] static std::string default_dir();
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+
+  /// Loads the entry for `key` into `out` (outputs only; identity and
+  /// observability fields are left untouched). Returns false on a miss or
+  /// an unreadable/corrupt entry.
+  bool load(const std::string& key, JobResult& out) const;
+
+  /// Persists the outputs of `result` under `key`. Creates the cache
+  /// directory on first use.
+  void store(const std::string& key, const JobResult& result) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace lsm::exp

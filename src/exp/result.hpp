@@ -1,0 +1,53 @@
+// Per-job outputs of the experiment runner: the ODE estimate, the
+// replicated simulation summary, steal/message counters and tail
+// profiles, plus the observability fields (wall time, event count, cache
+// provenance) the run manifest reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statistics.hpp"
+
+namespace lsm::exp {
+
+struct JobResult {
+  // Identity (filled from the Job, never from the cache).
+  std::string label;
+  double lambda = 0.0;
+  std::string key;
+
+  // ODE fixed-point estimate.
+  bool has_estimate = false;
+  double est_sojourn = 0.0;
+  double est_mean_tasks = 0.0;
+  double est_residual = 0.0;
+  std::vector<double> est_tail;  ///< s_0..s_tail_limit of the fixed point
+
+  // Replicated simulation.
+  bool has_sim = false;
+  util::Summary sim_sojourn;  ///< across per-replication mean sojourns
+  util::Summary sim_mean_tasks;
+  std::vector<double> sim_tail;  ///< mean empirical s_i profile
+
+  // Steal/message counters, summed over replications (whole run, warmup
+  // included — matches SimResult's conservation-exact raw counters).
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_successes = 0;
+  std::uint64_t tasks_moved = 0;
+  std::uint64_t forwards = 0;
+  /// Mean over replications of the per-processor control-message rate
+  /// inside the measurement window.
+  double message_rate = 0.0;
+
+  /// Simulation events (arrivals + completions + steal probes + forwards)
+  /// behind this result; 0 for estimate-only jobs.
+  std::uint64_t events = 0;
+
+  // Observability (always describes the current run, not the cached one).
+  bool cache_hit = false;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace lsm::exp

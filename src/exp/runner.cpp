@@ -1,0 +1,306 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/fixed_point.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sim/replicate.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace lsm::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string format_rate(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+util::Json summary_json(const util::Summary& s) {
+  auto j = util::Json::object();
+  j["mean"] = s.mean;
+  j["half_width"] = s.half_width;
+  j["stddev"] = s.stddev;
+  j["n"] = s.n;
+  return j;
+}
+
+util::Json tail_json(const std::vector<double>& tail) {
+  auto j = util::Json::array();
+  for (const double v : tail) j.push_back(v);
+  return j;
+}
+
+}  // namespace
+
+std::string RunnerOptions::default_artifact_dir() {
+  if (const char* v = std::getenv("LSM_ARTIFACTS")) return v;
+  return ".lsm-artifacts";
+}
+
+JobResult execute_job(const Job& job) {
+  JobResult r;
+  r.label = job.label;
+  r.lambda = job.lambda;
+  r.key = job.key();
+
+  if (job.estimate) {
+    const auto model = core::make_model(job.model, job.lambda, job.params);
+    const auto fp = core::solve_fixed_point(*model);
+    r.has_estimate = true;
+    r.est_sojourn = model->mean_sojourn(fp.state);
+    r.est_mean_tasks = model->mean_tasks(fp.state);
+    r.est_residual = fp.residual;
+    if (job.outputs.tail_limit > 0) {
+      const std::size_t n =
+          std::min(job.outputs.tail_limit + 1, model->dimension());
+      r.est_tail.assign(fp.state.begin(), fp.state.begin() + n);
+    }
+  }
+
+  if (job.simulate) {
+    // Replications run serially here: the job is the unit of sharding,
+    // and stream i always drives replication i, so the result does not
+    // depend on how jobs land on pool threads.
+    const auto rep = sim::replicate(
+        job.config, sim::ReplicateOptions{.replications = job.replications});
+    r.has_sim = true;
+    r.sim_sojourn = rep.sojourn;
+    r.sim_mean_tasks = rep.mean_tasks;
+    if (job.outputs.tail_limit > 0) {
+      const std::size_t n =
+          std::min(job.outputs.tail_limit + 1, rep.tail_fraction.size());
+      r.sim_tail.assign(rep.tail_fraction.begin(),
+                        rep.tail_fraction.begin() + n);
+    }
+    double rate = 0.0;
+    for (const auto& run : rep.replications) {
+      r.steal_attempts += run.steal_attempts;
+      r.steal_successes += run.steal_successes;
+      r.tasks_moved += run.tasks_moved;
+      r.forwards += run.forwards;
+      r.events += run.arrivals + run.completions + run.steal_attempts +
+                  run.forwards;
+      rate += run.message_rate(job.config.processors);
+    }
+    r.message_rate = rate / static_cast<double>(rep.replications.size());
+  }
+  return r;
+}
+
+Runner::Runner(RunnerOptions opts) : opts_(std::move(opts)) {}
+
+RunReport Runner::run(const ExperimentSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunReport report;
+  report.spec_name = spec.name;
+  report.jobs = spec.expand();
+
+  std::unique_ptr<par::ThreadPool> owned;
+  par::ThreadPool* pool = opts_.pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<par::ThreadPool>(
+        opts_.threads > 0 ? opts_.threads : util::worker_threads());
+    pool = owned.get();
+  }
+  report.threads = pool->size();
+
+  const ResultCache cache(opts_.cache_dir);
+  report.results =
+      par::parallel_map(*pool, report.jobs.size(), [&](std::size_t i) {
+        const Job& job = report.jobs[i];
+        const auto job_t0 = std::chrono::steady_clock::now();
+        JobResult r;
+        r.label = job.label;
+        r.lambda = job.lambda;
+        r.key = job.key();
+        if (cache.load(r.key, r)) {
+          r.cache_hit = true;
+        } else {
+          r = execute_job(job);
+          cache.store(r.key, r);
+        }
+        r.wall_seconds = seconds_since(job_t0);
+        return r;
+      });
+
+  for (const auto& r : report.results) {
+    if (r.cache_hit) {
+      ++report.cache_hits;
+    } else {
+      ++report.cache_misses;
+      report.events_simulated += r.events;
+    }
+  }
+  report.wall_seconds = seconds_since(t0);
+
+  if (!opts_.artifact_dir.empty() && !spec.name.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(opts_.artifact_dir, ec);
+    if (ec) {
+      throw util::Error("cannot create artifact dir " + opts_.artifact_dir);
+    }
+    const auto manifest_path =
+        fs::path(opts_.artifact_dir) / (spec.name + ".manifest.json");
+    std::ofstream mf(manifest_path, std::ios::trunc);
+    mf << report.manifest().dump(2) << "\n";
+    report.manifest_path = manifest_path.string();
+
+    const auto csv_path = fs::path(opts_.artifact_dir) / (spec.name + ".csv");
+    std::ofstream cf(csv_path, std::ios::trunc);
+    report.table().write_csv(cf);
+    report.csv_path = csv_path.string();
+  }
+  return report;
+}
+
+const JobResult& RunReport::at(const std::string& label,
+                               double lambda) const {
+  for (const auto& r : results) {
+    if (r.label == label && r.lambda == lambda) return r;
+  }
+  throw util::Error("run '" + spec_name + "' has no job (" + label + ", " +
+                    util::Json::number_to_string(lambda) + ")");
+}
+
+double RunReport::sim(const std::string& label, double lambda) const {
+  const auto& r = at(label, lambda);
+  LSM_EXPECT(r.has_sim, "job (" + label + ") has no simulation output");
+  return r.sim_sojourn.mean;
+}
+
+double RunReport::estimate(const std::string& label, double lambda) const {
+  const auto& r = at(label, lambda);
+  LSM_EXPECT(r.has_estimate, "job (" + label + ") has no estimate output");
+  return r.est_sojourn;
+}
+
+util::Json RunReport::manifest(bool include_timing) const {
+  auto doc = util::Json::object();
+  doc["name"] = spec_name;
+
+  auto jobs_json = util::Json::array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    auto j = util::Json::object();
+    j["label"] = r.label;
+    j["lambda"] = r.lambda;
+    j["key"] = r.key;
+    j["config"] = jobs[i].canonical();
+    j["cache_hit"] = r.cache_hit;
+    if (r.has_estimate) {
+      auto est = util::Json::object();
+      est["sojourn"] = r.est_sojourn;
+      est["mean_tasks"] = r.est_mean_tasks;
+      est["residual"] = r.est_residual;
+      if (!r.est_tail.empty()) est["tail"] = tail_json(r.est_tail);
+      j["estimate"] = std::move(est);
+    }
+    if (r.has_sim) {
+      auto sim = util::Json::object();
+      sim["sojourn"] = summary_json(r.sim_sojourn);
+      sim["mean_tasks"] = summary_json(r.sim_mean_tasks);
+      if (!r.sim_tail.empty()) sim["tail"] = tail_json(r.sim_tail);
+      auto steal = util::Json::object();
+      steal["attempts"] = r.steal_attempts;
+      steal["successes"] = r.steal_successes;
+      steal["tasks_moved"] = r.tasks_moved;
+      steal["forwards"] = r.forwards;
+      steal["message_rate"] = r.message_rate;
+      sim["steal"] = std::move(steal);
+      j["sim"] = std::move(sim);
+    }
+    j["events"] = r.events;
+    if (include_timing) {
+      j["wall_seconds"] = r.wall_seconds;
+      if (r.wall_seconds > 0.0 && r.events > 0 && !r.cache_hit) {
+        j["events_per_second"] =
+            static_cast<double>(r.events) / r.wall_seconds;
+      }
+    }
+    jobs_json.push_back(std::move(j));
+  }
+  doc["jobs"] = std::move(jobs_json);
+
+  auto agg = util::Json::object();
+  agg["jobs"] = results.size();
+  agg["cache_hits"] = cache_hits;
+  agg["cache_misses"] = cache_misses;
+  agg["events_simulated"] = events_simulated;
+  std::uint64_t attempts = 0, successes = 0, moved = 0, forwards = 0;
+  for (const auto& r : results) {
+    attempts += r.steal_attempts;
+    successes += r.steal_successes;
+    moved += r.tasks_moved;
+    forwards += r.forwards;
+  }
+  auto steal = util::Json::object();
+  steal["attempts"] = attempts;
+  steal["successes"] = successes;
+  steal["tasks_moved"] = moved;
+  steal["forwards"] = forwards;
+  agg["steal"] = std::move(steal);
+  if (include_timing) {
+    agg["threads"] = static_cast<std::size_t>(threads);
+    agg["wall_seconds"] = wall_seconds;
+    if (wall_seconds > 0.0) {
+      agg["events_per_second"] =
+          static_cast<double>(events_simulated) / wall_seconds;
+    }
+  }
+  doc["run"] = std::move(agg);
+  return doc;
+}
+
+util::Table RunReport::table() const {
+  util::Table t({"label", "lambda", "est_sojourn", "sim_sojourn",
+                 "sim_half_width", "sim_stddev", "replications",
+                 "sim_mean_tasks", "message_rate", "steal_attempts",
+                 "steal_successes", "events", "wall_ms", "cache"});
+  for (const auto& r : results) {
+    const auto num = [](double v) { return util::Json::number_to_string(v); };
+    t.add_row({r.label, num(r.lambda),
+               r.has_estimate ? num(r.est_sojourn) : "",
+               r.has_sim ? num(r.sim_sojourn.mean) : "",
+               r.has_sim ? num(r.sim_sojourn.half_width) : "",
+               r.has_sim ? num(r.sim_sojourn.stddev) : "",
+               r.has_sim ? std::to_string(r.sim_sojourn.n) : "",
+               r.has_sim ? num(r.sim_mean_tasks.mean) : "",
+               r.has_sim ? num(r.message_rate) : "",
+               std::to_string(r.steal_attempts),
+               std::to_string(r.steal_successes), std::to_string(r.events),
+               num(r.wall_seconds * 1e3), r.cache_hit ? "hit" : "miss"});
+  }
+  return t;
+}
+
+std::string RunReport::summary() const {
+  std::string s = "runner: " + std::to_string(results.size()) + " jobs | " +
+                  std::to_string(cache_hits) + " cached, " +
+                  std::to_string(cache_misses) + " computed | " +
+                  format_rate(static_cast<double>(events_simulated)) +
+                  " events in " + format_rate(wall_seconds) + " s";
+  if (wall_seconds > 0.0 && events_simulated > 0) {
+    s += " (" +
+         format_rate(static_cast<double>(events_simulated) / wall_seconds) +
+         " events/s, " + std::to_string(threads) + " threads)";
+  }
+  if (!manifest_path.empty()) s += " | manifest: " + manifest_path;
+  return s;
+}
+
+}  // namespace lsm::exp

@@ -1,0 +1,92 @@
+// Parallel sharded experiment runner with result caching and run
+// observability — the engine behind the table/figure benches.
+//
+// Runner::run expands an ExperimentSpec into Jobs, shards them across a
+// thread pool (each job runs its replications serially on deterministic
+// per-replication jump streams, so results are byte-identical regardless
+// of the thread count), consults the on-disk ResultCache before
+// computing anything, and emits structured artifacts: a CSV of all job
+// outputs plus a JSON run manifest with per-job wall time, event counts,
+// cache provenance and aggregate steal statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/result.hpp"
+#include "exp/spec.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace lsm::exp {
+
+struct RunnerOptions {
+  /// External pool to shard jobs on; nullptr spawns a private pool of
+  /// `threads` workers (0 = util::worker_threads()).
+  par::ThreadPool* pool = nullptr;
+  unsigned threads = 0;
+  /// "" disables caching. Defaults to LSM_CACHE_DIR / ".lsm-cache".
+  std::string cache_dir = ResultCache::default_dir();
+  /// Directory for the manifest + CSV; "" disables artifact emission.
+  /// Defaults to LSM_ARTIFACTS / ".lsm-artifacts".
+  std::string artifact_dir = default_artifact_dir();
+
+  [[nodiscard]] static std::string default_artifact_dir();
+};
+
+/// Everything one Runner::run produced, in spec order.
+struct RunReport {
+  std::string spec_name;
+  std::vector<Job> jobs;
+  std::vector<JobResult> results;  ///< parallel to `jobs`
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Events executed by this run (cache hits contribute nothing).
+  std::uint64_t events_simulated = 0;
+  double wall_seconds = 0.0;
+  unsigned threads = 0;
+  std::string manifest_path;  ///< "" when artifacts are disabled
+  std::string csv_path;
+
+  /// Result lookup by grid label + arrival rate; throws util::Error when
+  /// the job does not exist.
+  [[nodiscard]] const JobResult& at(const std::string& label,
+                                    double lambda) const;
+  /// Simulated mean sojourn of (label, lambda).
+  [[nodiscard]] double sim(const std::string& label, double lambda) const;
+  /// Fixed-point sojourn estimate of (label, lambda).
+  [[nodiscard]] double estimate(const std::string& label,
+                                double lambda) const;
+
+  /// The run manifest. With include_timing = false every
+  /// schedule-dependent field (wall times, rates, thread count) is
+  /// omitted and the document is a pure function of (spec, seed, cache
+  /// state) — byte-identical across thread counts.
+  [[nodiscard]] util::Json manifest(bool include_timing = true) const;
+
+  /// All job outputs as one flat table (the CSV artifact).
+  [[nodiscard]] util::Table table() const;
+
+  /// One-line observability summary for bench output.
+  [[nodiscard]] std::string summary() const;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opts = {});
+
+  /// Runs every job of `spec` (cache-first), writes artifacts, returns
+  /// the report. Exceptions from any job propagate to the caller.
+  [[nodiscard]] RunReport run(const ExperimentSpec& spec);
+
+ private:
+  RunnerOptions opts_;
+};
+
+/// Computes one job without cache or pool; the unit of work the runner
+/// shards. Exposed for tests.
+[[nodiscard]] JobResult execute_job(const Job& job);
+
+}  // namespace lsm::exp

@@ -1,0 +1,175 @@
+#include "exp/spec.hpp"
+
+#include <set>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace lsm::exp {
+
+namespace {
+
+/// Bump when the canonical serialization or the cached result layout
+/// changes; stale cache entries then simply stop matching.
+constexpr int kFormatVersion = 1;
+
+util::Json policy_json(const sim::StealPolicy& p) {
+  auto j = util::Json::object();
+  j["kind"] = static_cast<int>(p.kind);
+  j["threshold"] = p.threshold;
+  j["choices"] = p.choices;
+  j["steal_count"] = p.steal_count;
+  j["retry_rate"] = p.retry_rate;
+  j["begin_steal"] = p.begin_steal;
+  j["rebalance_rate"] = p.rebalance_rate;
+  j["transfer"] = static_cast<int>(p.transfer);
+  j["transfer_mean"] = p.transfer_mean;
+  j["transfer_stages"] = p.transfer_stages;
+  j["victims_include_self"] = p.victims_include_self;
+  return j;
+}
+
+util::Json config_json(const sim::SimConfig& c) {
+  auto j = util::Json::object();
+  j["processors"] = c.processors;
+  j["arrival_rate"] = c.arrival_rate;
+  j["internal_rate"] = c.internal_rate;
+  auto service = util::Json::object();
+  service["kind"] = static_cast<int>(c.service.kind());
+  service["mean"] = c.service.mean();
+  service["stages"] = c.service.stages();
+  j["service"] = std::move(service);
+  j["policy"] = policy_json(c.policy);
+  j["horizon"] = c.horizon;
+  j["warmup"] = c.warmup;
+  j["seed"] = c.seed;
+  j["fast_count"] = c.fast_count;
+  j["fast_speed"] = c.fast_speed;
+  j["slow_speed"] = c.slow_speed;
+  auto groups = util::Json::array();
+  for (const auto& g : c.speed_groups) {
+    auto gj = util::Json::object();
+    gj["count"] = g.count;
+    gj["speed"] = g.speed;
+    groups.push_back(std::move(gj));
+  }
+  j["speed_groups"] = std::move(groups);
+  j["initial_tasks"] = c.initial_tasks;
+  j["loaded_count"] = c.loaded_count;
+  j["histogram_limit"] = c.histogram_limit;
+  j["collect_sojourns"] = c.collect_sojourns;
+  j["timeline_dt"] = c.timeline_dt;
+  return j;
+}
+
+}  // namespace
+
+Fidelity Fidelity::quick() { return {}; }
+
+Fidelity Fidelity::paper() {
+  return {10, 100000.0, 10000.0, "paper (10 x 100,000s, 10,000s warmup)"};
+}
+
+Fidelity Fidelity::from_env() {
+  return util::paper_fidelity() ? paper() : quick();
+}
+
+util::Json Job::canonical() const {
+  auto j = util::Json::object();
+  j["v"] = kFormatVersion;
+  j["lambda"] = lambda;
+  j["model"] = model;
+  auto params_json = util::Json::object();
+  for (const auto& [key, value] : params) params_json[key] = value;
+  j["params"] = std::move(params_json);
+  j["estimate"] = estimate;
+  j["simulate"] = simulate;
+  if (simulate) {
+    j["sim"] = config_json(config);
+    j["replications"] = replications;
+  }
+  auto out = util::Json::object();
+  out["fixed_point"] = outputs.fixed_point;
+  out["simulate"] = outputs.simulate;
+  out["tail_limit"] = outputs.tail_limit;
+  j["outputs"] = std::move(out);
+  return j;
+}
+
+std::string Job::key() const { return content_hash(canonical().dump()); }
+
+GridEntry& ExperimentSpec::add(GridEntry entry) {
+  entries.push_back(std::move(entry));
+  return entries.back();
+}
+
+std::vector<Job> ExperimentSpec::expand() const {
+  LSM_EXPECT(!entries.empty(), "experiment spec has no grid entries");
+  LSM_EXPECT(!lambdas.empty(), "experiment spec has no arrival rates");
+  std::set<std::string> labels;
+  for (const auto& e : entries) {
+    LSM_EXPECT(!e.label.empty(), "grid entry needs a label");
+    if (!labels.insert(e.label).second) {
+      throw util::Error("duplicate grid entry label: " + e.label);
+    }
+    const bool wants_estimate = outputs.fixed_point && e.estimate;
+    if (wants_estimate || !e.model.empty()) {
+      if (e.model.empty()) {
+        throw util::Error("grid entry '" + e.label +
+                          "' wants an estimate but names no model");
+      }
+      // Validate the name and the parameter keys up front, before any
+      // sharded work starts.
+      const auto& spec = core::model_spec(e.model);
+      for (const auto& [key, value] : e.params) {
+        if (!spec.accepts(key)) {
+          throw util::Error("grid entry '" + e.label + "': model " + e.model +
+                            " does not accept parameter '" + key + "'");
+        }
+      }
+    }
+  }
+
+  const std::size_t reps =
+      replications > 0 ? replications : fidelity.replications;
+  std::vector<Job> jobs;
+  jobs.reserve(entries.size() * lambdas.size());
+  for (const auto& e : entries) {
+    for (const double lambda : lambdas) {
+      Job job;
+      job.label = e.label;
+      job.lambda = lambda;
+      job.model = e.model;
+      job.params = e.params;
+      job.config = e.config;
+      job.config.arrival_rate = lambda;
+      job.config.horizon = fidelity.horizon;
+      job.config.warmup = fidelity.warmup;
+      job.config.seed = seed;
+      job.replications = reps;
+      job.simulate = outputs.simulate && e.simulate;
+      job.estimate = outputs.fixed_point && e.estimate && !e.model.empty();
+      job.outputs = outputs;
+      if (job.simulate) job.config.validate();
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::string content_hash(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  constexpr char hex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace lsm::exp

@@ -27,6 +27,8 @@
 #include "core/threshold_ws.hpp"     // IWYU pragma: export
 #include "core/transfer_ws.hpp"      // IWYU pragma: export
 #include "core/work_sharing.hpp"     // IWYU pragma: export
+#include "exp/runner.hpp"            // IWYU pragma: export
+#include "exp/spec.hpp"              // IWYU pragma: export
 #include "ode/integrator.hpp"        // IWYU pragma: export
 #include "ode/newton.hpp"            // IWYU pragma: export
 #include "ode/steady_state.hpp"      // IWYU pragma: export
@@ -37,5 +39,6 @@
 #include "sim/simulator.hpp"         // IWYU pragma: export
 #include "util/cli.hpp"              // IWYU pragma: export
 #include "util/env.hpp"              // IWYU pragma: export
+#include "util/json.hpp"             // IWYU pragma: export
 #include "util/statistics.hpp"       // IWYU pragma: export
 #include "util/table.hpp"            // IWYU pragma: export

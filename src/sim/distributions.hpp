@@ -23,6 +23,7 @@ class ServiceDistribution {
   [[nodiscard]] double sample(util::Xoshiro256& rng) const;
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
   [[nodiscard]] std::string name() const;
 
  private:

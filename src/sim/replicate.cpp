@@ -34,28 +34,39 @@ ReplicationResult aggregate(std::vector<SimResult> runs) {
 
 }  // namespace
 
+ReplicationResult replicate(const SimConfig& config,
+                            const ReplicateOptions& opts) {
+  LSM_EXPECT(opts.replications >= 1, "need at least one replication");
+  SimConfig cfg = config;
+  if (opts.collect_sojourns.has_value()) {
+    cfg.collect_sojourns = *opts.collect_sojourns;
+  }
+  cfg.validate();
+  const par::RngStreams streams(cfg.seed);
+  const auto one = [&](std::size_t i) {
+    return simulate(cfg, streams.stream(static_cast<unsigned>(i)));
+  };
+  std::vector<SimResult> runs;
+  if (opts.pool != nullptr) {
+    runs = par::parallel_map(*opts.pool, opts.replications, one);
+  } else {
+    runs.reserve(opts.replications);
+    for (std::size_t i = 0; i < opts.replications; ++i) runs.push_back(one(i));
+  }
+  return aggregate(std::move(runs));
+}
+
 ReplicationResult replicate(const SimConfig& config, std::size_t replications,
                             par::ThreadPool& pool) {
-  LSM_EXPECT(replications >= 1, "need at least one replication");
-  config.validate();
-  const par::RngStreams streams(config.seed);
-  auto runs = par::parallel_map(pool, replications, [&](std::size_t i) {
-    return simulate(config, streams.stream(static_cast<unsigned>(i)));
-  });
-  return aggregate(std::move(runs));
+  return replicate(config,
+                   ReplicateOptions{.replications = replications,
+                                    .pool = &pool,
+                                    .collect_sojourns = std::nullopt});
 }
 
 ReplicationResult replicate(const SimConfig& config,
                             std::size_t replications) {
-  LSM_EXPECT(replications >= 1, "need at least one replication");
-  config.validate();
-  const par::RngStreams streams(config.seed);
-  std::vector<SimResult> runs;
-  runs.reserve(replications);
-  for (std::size_t i = 0; i < replications; ++i) {
-    runs.push_back(simulate(config, streams.stream(static_cast<unsigned>(i))));
-  }
-  return aggregate(std::move(runs));
+  return replicate(config, ReplicateOptions{.replications = replications});
 }
 
 }  // namespace lsm::sim

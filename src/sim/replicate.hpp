@@ -1,9 +1,11 @@
 // Replication harness: runs R independent simulation replications (each on
-// its own xoshiro jump stream) across a thread pool and aggregates the
-// per-replication results, matching the paper's "average of 10 simulations"
-// methodology.
+// its own xoshiro jump stream) and aggregates the per-replication results,
+// matching the paper's "average of 10 simulations" methodology. Stream k
+// always drives replication k, so the aggregate is bit-for-bit identical
+// whether the replications run serially or on a thread pool.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -19,14 +21,27 @@ struct ReplicationResult {
   std::vector<SimResult> replications;
 };
 
-/// Runs `replications` copies of `config` (seeded from config.seed via
-/// deterministic jump streams) on `pool`. Results are independent of the
-/// thread schedule.
+/// How to run a batch of replications. The single entry point subsumes the
+/// old (config, n[, pool]) overload pair.
+struct ReplicateOptions {
+  std::size_t replications = 1;
+  /// Workers to fan the replications across; nullptr runs them serially on
+  /// the calling thread (same results either way).
+  par::ThreadPool* pool = nullptr;
+  /// When set, overrides SimConfig::collect_sojourns for every replication.
+  std::optional<bool> collect_sojourns;
+};
+
+/// Runs `opts.replications` copies of `config` (seeded from config.seed via
+/// deterministic jump streams). Results are independent of the thread
+/// schedule.
+[[nodiscard]] ReplicationResult replicate(const SimConfig& config,
+                                          const ReplicateOptions& opts);
+
+/// Deprecated shims for the pre-ReplicateOptions API.
 [[nodiscard]] ReplicationResult replicate(const SimConfig& config,
                                           std::size_t replications,
                                           par::ThreadPool& pool);
-
-/// Serial convenience overload.
 [[nodiscard]] ReplicationResult replicate(const SimConfig& config,
                                           std::size_t replications);
 

@@ -53,4 +53,11 @@ bool Args::flag(const std::string& key) const {
   return it != kv_.end() && it->second != "false" && it->second != "0";
 }
 
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [key, value] : kv_) out.push_back(key);
+  return out;
+}
+
 }  // namespace lsm::util

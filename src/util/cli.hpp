@@ -26,6 +26,9 @@ class Args {
     return positional_;
   }
 
+  /// Every --key provided, for strict flag validation.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
  private:
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;

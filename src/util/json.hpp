@@ -1,0 +1,66 @@
+// Minimal ordered JSON value tree + writer for run manifests and CLI
+// output. Insertion order of object keys is preserved and doubles are
+// printed in shortest round-trip form, so a given tree always serializes
+// to the same bytes — the property the experiment runner's deterministic
+// manifests and cache keys rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lsm::util {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}            // NOLINT
+  Json(double v) : type_(Type::Double), double_(v) {}      // NOLINT
+  /// Any integral type (bool excluded by the dedicated constructor).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::String), string_(s) {}             // NOLINT
+
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  /// Object access; inserts a null member on first use (object only).
+  Json& operator[](const std::string& key);
+  /// Read-only member lookup; throws util::Error when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Array append (array only).
+  void push_back(Json value);
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serialize. indent < 0 produces the compact single-line form used for
+  /// hashing; indent >= 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Shortest decimal string that parses back to exactly `v`.
+  [[nodiscard]] static std::string number_to_string(double v);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+  static void write_escaped(std::string& out, const std::string& s);
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace lsm::util

@@ -80,11 +80,18 @@ double normal_quantile(double p) {
 
 namespace {
 
+/// Thread-safe log-gamma: glibc's lgamma writes the global `signgam`,
+/// which races when replications summarize concurrently.
+double lgamma_safe(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
 /// Regularized incomplete beta via Lentz's continued fraction.
 double incomplete_beta(double a, double bb, double x) {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_beta = std::lgamma(a) + std::lgamma(bb) - std::lgamma(a + bb);
+  const double ln_beta = lgamma_safe(a) + lgamma_safe(bb) - lgamma_safe(a + bb);
   const double front = std::exp(std::log(x) * a + std::log1p(-x) * bb - ln_beta);
   // Symmetry transform keeps the continued fraction convergent.
   if (x > (a + 1.0) / (a + bb + 2.0)) {

@@ -1,0 +1,240 @@
+// Tests for the experiment-runner subsystem: grid expansion, content
+// hashing, determinism across pool widths, and the disk result cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/cache.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace lsm;
+namespace fs = std::filesystem;
+
+/// Fresh temp directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("lsm-exp-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+/// A small but non-trivial spec: two entries (one sim+est, one est-only)
+/// over two arrival rates, short horizon so the whole grid runs in tens of
+/// milliseconds.
+exp::ExperimentSpec small_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "exp_runner_test";
+  spec.lambdas = {0.5, 0.8};
+  spec.fidelity = {2, 400.0, 50.0, "test"};
+  spec.outputs.tail_limit = 6;
+  {
+    exp::GridEntry e;
+    e.label = "steal";
+    e.model = "simple";
+    e.config.processors = 16;
+    e.config.policy = sim::StealPolicy::on_empty(2);
+    spec.add(std::move(e));
+  }
+  {
+    exp::GridEntry e;
+    e.label = "t4";
+    e.model = "threshold";
+    e.params = {{"T", 4.0}};
+    e.simulate = false;
+    spec.add(std::move(e));
+  }
+  return spec;
+}
+
+exp::RunnerOptions options(const TempDir& cache, unsigned threads) {
+  exp::RunnerOptions opts;
+  opts.threads = threads;
+  opts.cache_dir = cache.path.string();
+  opts.artifact_dir = "";  // no artifacts unless a test asks for them
+  return opts;
+}
+
+TEST(ExperimentSpec, ExpandCrossesEntriesWithLambdas) {
+  const auto jobs = small_spec().expand();
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].label, "steal");
+  EXPECT_DOUBLE_EQ(jobs[0].lambda, 0.5);
+  EXPECT_DOUBLE_EQ(jobs[0].config.arrival_rate, 0.5);
+  EXPECT_EQ(jobs[0].config.seed, 42u);
+  EXPECT_EQ(jobs[0].replications, 2u);
+  EXPECT_TRUE(jobs[0].simulate);
+  EXPECT_FALSE(jobs[3].simulate);
+  EXPECT_TRUE(jobs[3].estimate);
+}
+
+TEST(ExperimentSpec, RejectsDuplicateLabelsAndBadModels) {
+  auto dup = small_spec();
+  dup.entries[1].label = "steal";
+  EXPECT_THROW((void)dup.expand(), util::Error);
+
+  auto unknown = small_spec();
+  unknown.entries[0].model = "warp-drive";
+  EXPECT_THROW((void)unknown.expand(), util::Error);
+
+  auto bad_param = small_spec();
+  bad_param.entries[0].params["zeta"] = 1.0;
+  EXPECT_THROW((void)bad_param.expand(), util::Error);
+}
+
+TEST(ExperimentSpec, KeyIsStableAndConfigSensitive) {
+  const auto jobs = small_spec().expand();
+  EXPECT_EQ(jobs[0].key(), jobs[0].key());
+  EXPECT_NE(jobs[0].key(), jobs[1].key());  // different lambda
+  auto tweaked = small_spec();
+  tweaked.seed = 43;
+  const auto jobs2 = tweaked.expand();
+  EXPECT_NE(jobs[0].key(), jobs2[0].key());       // sim job: seed matters
+  EXPECT_EQ(jobs[3].key(), jobs2[3].key());       // estimate-only: it doesn't
+}
+
+TEST(Runner, ManifestIsIdenticalAcrossPoolWidths) {
+  std::string reference;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const TempDir cache("det" + std::to_string(threads));
+    exp::Runner runner(options(cache, threads));
+    const auto report = runner.run(small_spec());
+    EXPECT_EQ(report.cache_misses, 4u);
+    const std::string manifest =
+        report.manifest(/*include_timing=*/false).dump(2);
+    if (reference.empty()) {
+      reference = manifest;
+    } else {
+      EXPECT_EQ(manifest, reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_NE(reference.find("\"cache_hit\": false"), std::string::npos);
+}
+
+TEST(Runner, SecondRunIsAllCacheHitsAndSimulatesNothing) {
+  const TempDir cache("roundtrip");
+  const auto spec = small_spec();
+
+  exp::Runner first(options(cache, 2));
+  const auto cold = first.run(spec);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 4u);
+  EXPECT_GT(cold.events_simulated, 0u);
+
+  exp::Runner second(options(cache, 2));
+  const auto warm = second.run(spec);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.events_simulated, 0u);  // zero events re-simulated
+
+  // The cached results reproduce the computed ones bit-for-bit, so the
+  // deterministic manifests agree except for cache provenance.
+  for (std::size_t i = 0; i < cold.results.size(); ++i) {
+    const auto& a = cold.results[i];
+    const auto& b = warm.results[i];
+    EXPECT_TRUE(b.cache_hit);
+    EXPECT_EQ(a.sim_sojourn.mean, b.sim_sojourn.mean) << i;
+    EXPECT_EQ(a.est_sojourn, b.est_sojourn) << i;
+    EXPECT_EQ(a.events, b.events) << i;
+    EXPECT_EQ(a.sim_tail, b.sim_tail) << i;
+    EXPECT_EQ(a.est_tail, b.est_tail) << i;
+  }
+}
+
+TEST(Runner, WritesManifestAndCsvArtifacts) {
+  const TempDir cache("art-cache");
+  const TempDir artifacts("artifacts");
+  auto opts = options(cache, 2);
+  opts.artifact_dir = artifacts.path.string();
+  exp::Runner runner(opts);
+  const auto report = runner.run(small_spec());
+
+  ASSERT_FALSE(report.manifest_path.empty());
+  ASSERT_FALSE(report.csv_path.empty());
+  std::ifstream mf(report.manifest_path);
+  ASSERT_TRUE(mf.good());
+  std::string manifest((std::istreambuf_iterator<char>(mf)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(manifest.find("\"exp_runner_test\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"events_simulated\""), std::string::npos);
+  std::ifstream cf(report.csv_path);
+  ASSERT_TRUE(cf.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(cf, line));
+  EXPECT_NE(line.find("est_sojourn"), std::string::npos);
+}
+
+TEST(Runner, ReportLookupAndOutputs) {
+  const TempDir cache("lookup");
+  exp::Runner runner(options(cache, 2));
+  const auto report = runner.run(small_spec());
+
+  // Simulated and estimated sojourns are close for the simple model.
+  const double sim = report.sim("steal", 0.5);
+  const double est = report.estimate("steal", 0.5);
+  EXPECT_NEAR(sim, est, 0.25);
+  // Estimate-only entry has no sim side.
+  EXPECT_THROW((void)report.sim("t4", 0.5), util::LogicError);
+  EXPECT_THROW((void)report.at("nope", 0.5), util::Error);
+
+  const auto& steal = report.at("steal", 0.8);
+  EXPECT_TRUE(steal.has_sim);
+  EXPECT_GT(steal.steal_attempts, 0u);
+  EXPECT_GE(steal.steal_attempts, steal.steal_successes);
+  EXPECT_GT(steal.events, 0u);
+  ASSERT_EQ(steal.est_tail.size(), 7u);  // s_0..s_6
+  EXPECT_DOUBLE_EQ(steal.est_tail[0], 1.0);
+  ASSERT_EQ(steal.sim_tail.size(), 7u);
+  EXPECT_NEAR(steal.sim_tail[1], 0.8, 0.05);  // busy fraction ~ lambda
+}
+
+TEST(Runner, ExternalPoolIsUsable) {
+  const TempDir cache("extpool");
+  par::ThreadPool pool(3);
+  exp::RunnerOptions opts;
+  opts.pool = &pool;
+  opts.cache_dir = cache.path.string();
+  opts.artifact_dir = "";
+  exp::Runner runner(opts);
+  const auto report = runner.run(small_spec());
+  EXPECT_EQ(report.threads, 3u);
+  EXPECT_EQ(report.results.size(), 4u);
+}
+
+TEST(ResultCache, CorruptEntryIsAMiss) {
+  const TempDir dir("corrupt");
+  const exp::ResultCache cache(dir.path.string());
+  exp::JobResult r;
+  r.has_estimate = true;
+  r.est_sojourn = 1.5;
+  cache.store("deadbeefdeadbeef", r);
+
+  exp::JobResult loaded;
+  EXPECT_TRUE(cache.load("deadbeefdeadbeef", loaded));
+  EXPECT_EQ(loaded.est_sojourn, 1.5);
+
+  // Truncate the magic line: the entry must be treated as a miss.
+  std::ofstream f(dir.path / "deadbeefdeadbeef.job", std::ios::trunc);
+  f << "garbage\n";
+  f.close();
+  exp::JobResult again;
+  EXPECT_FALSE(cache.load("deadbeefdeadbeef", again));
+}
+
+TEST(ResultCache, DisabledCacheNeverHits) {
+  const exp::ResultCache cache("");
+  exp::JobResult r;
+  cache.store("0123456789abcdef", r);  // no-op
+  EXPECT_FALSE(cache.load("0123456789abcdef", r));
+}
+
+}  // namespace

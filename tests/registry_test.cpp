@@ -63,4 +63,47 @@ TEST(Registry, RejectsNegativeCount) {
                util::LogicError);
 }
 
+TEST(Registry, SpecsCoverEveryNameInOrder) {
+  const auto& specs = core::model_specs();
+  const auto names = core::model_names();
+  ASSERT_EQ(specs.size(), names.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, names[i]);
+    EXPECT_FALSE(specs[i].description.empty()) << specs[i].name;
+  }
+}
+
+TEST(Registry, MakeModelAcceptsEveryDeclaredParameter) {
+  // Every spec's declared parameters, at their declared fallbacks, must be
+  // accepted by the factory -- the introspection and the dispatch agree.
+  for (const auto& spec : core::model_specs()) {
+    core::ModelParams params;
+    for (const auto& p : spec.params) {
+      EXPECT_TRUE(spec.accepts(p.key)) << spec.name << " " << p.key;
+      EXPECT_EQ(spec.fallback(p.key), p.fallback) << spec.name << " " << p.key;
+      if (p.key != "L") params[p.key] = p.fallback;
+    }
+    const auto model = core::make_model(spec.name, 0.7, params);
+    ASSERT_NE(model, nullptr) << spec.name;
+  }
+}
+
+TEST(Registry, RejectsUnknownParameterKey) {
+  EXPECT_THROW((void)core::make_model("simple", 0.9, {{"T", 2}}), util::Error);
+  try {
+    (void)core::make_model("threshold", 0.9, {{"zeta", 1}});
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    // The message names the offender and lists what the model does accept.
+    EXPECT_NE(std::string(e.what()).find("zeta"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("T"), std::string::npos);
+  }
+}
+
+TEST(Registry, SpecLookupByName) {
+  EXPECT_EQ(core::model_spec("erlang").name, "erlang");
+  EXPECT_TRUE(core::model_spec("erlang").accepts("c"));
+  EXPECT_THROW((void)core::model_spec("warp-drive"), util::Error);
+}
+
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
 #include "util/xoshiro.hpp"
@@ -299,6 +300,63 @@ TEST(Error, ExpectCarriesMessage) {
     EXPECT_NE(std::string(e.what()).find("informative text"),
               std::string::npos);
   }
+}
+
+TEST(Args, EnumeratesProvidedKeys) {
+  const char* argv[] = {"prog", "model", "--T=4", "--json"};
+  const Args a(4, argv);
+  const auto keys = a.keys();
+  ASSERT_EQ(keys.size(), 2u);  // sorted: map order
+  EXPECT_EQ(keys[0], "T");
+  EXPECT_EQ(keys[1], "json");
+}
+
+// --- Json ------------------------------------------------------------------
+
+TEST(Json, CompactDumpPreservesInsertionOrder) {
+  auto doc = Json::object();
+  doc["b"] = 1;
+  doc["a"] = true;
+  doc["c"] = "x";
+  EXPECT_EQ(doc.dump(), R"({"b":1,"a":true,"c":"x"})");
+}
+
+TEST(Json, ScalarsAndNesting) {
+  auto doc = Json::object();
+  doc["null"] = Json();
+  doc["int"] = -7;
+  doc["size"] = std::size_t{42};
+  auto arr = Json::array();
+  arr.push_back(1.5);
+  arr.push_back(false);
+  doc["arr"] = std::move(arr);
+  EXPECT_EQ(doc.dump(), R"({"null":null,"int":-7,"size":42,"arr":[1.5,false]})");
+  EXPECT_TRUE(doc.contains("arr"));
+  EXPECT_FALSE(doc.contains("missing"));
+}
+
+TEST(Json, StringsAreEscaped) {
+  auto doc = Json::object();
+  doc["s"] = std::string("a\"b\\c\n\t") + '\x01';
+  EXPECT_EQ(doc.dump(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+}
+
+TEST(Json, DoublesRoundTripShortest) {
+  // Shortest-form to_chars output parses back to the identical bits.
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 12345.6789, -0.0}) {
+    const std::string s = Json::number_to_string(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+    EXPECT_EQ(s.find('E'), std::string::npos) << s;
+  }
+  EXPECT_EQ(Json::number_to_string(2.0), "2");
+}
+
+TEST(Json, IndentedDump) {
+  auto doc = Json::object();
+  doc["k"] = 1;
+  EXPECT_EQ(doc.dump(2), "{\n  \"k\": 1\n}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
 }
 
 }  // namespace
