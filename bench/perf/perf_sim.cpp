@@ -1,0 +1,252 @@
+// Simulator hot-path performance harness: the repo's tracked perf
+// baseline.
+//
+// Times the discrete-event engine (events/sec) on the table1 workload
+// shape — lambda = 0.9 steal-on-empty plus the Share and Preemptive
+// variants — at n in {64, 1024} on pinned seeds, and the exp::Runner
+// sharding path (jobs/sec) on a small grid with caching disabled. Writes
+// the measurements as JSON and, when given a committed baseline file,
+// prints and embeds the per-case and aggregate speedups so perf
+// regressions show up as a diff.
+//
+//   perf_sim [out.json] [baseline.json]
+//
+// Defaults: out = BENCH_sim.json, no baseline. The sampled simulation
+// values are pinned by tests/sim_golden_trace_test.cpp; this harness only
+// tracks how fast the identical event sequence executes.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "sim/simulator.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lsm;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PerfCase {
+  std::string name;
+  sim::SimConfig cfg;
+};
+
+struct CaseResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double baseline_events_per_sec = 0.0;  // 0 = no baseline
+};
+
+/// {n = 64, n = 1024} x {OnEmpty, Share, Preemptive} at the table1 load.
+std::vector<PerfCase> perf_cases() {
+  std::vector<PerfCase> cases;
+  for (const std::size_t n : {std::size_t{64}, std::size_t{1024}}) {
+    for (const auto& [label, policy] :
+         {std::pair{"on_empty", sim::StealPolicy::on_empty(2)},
+          std::pair{"share", sim::StealPolicy::sharing(2)},
+          std::pair{"preemptive", sim::StealPolicy::preemptive(1, 2)}}) {
+      PerfCase c;
+      c.name = std::string(label) + "_n" + std::to_string(n);
+      c.cfg.processors = n;
+      c.cfg.arrival_rate = 0.9;
+      c.cfg.policy = policy;
+      c.cfg.horizon = n <= 64 ? 6000.0 : 500.0;
+      c.cfg.warmup = c.cfg.horizon / 10.0;
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+/// Dispatched-event count of one run (thinned arrivals excluded; the same
+/// formula exp::Runner reports, so rates line up with run manifests).
+std::uint64_t event_count(const sim::SimResult& r) {
+  return r.arrivals + r.completions + r.steal_attempts + r.forwards;
+}
+
+/// Repetitions per case; the fastest one is reported. Best-of timing
+/// measures the code, not whatever else the machine was doing — on a
+/// shared single-core box the mean is dominated by preemption noise.
+constexpr int kRepetitions = 5;
+
+CaseResult time_case(const PerfCase& pc) {
+  constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+  CaseResult out;
+  out.name = pc.name;
+  // Untimed warmup run: faults in the pages and stabilizes the clock.
+  {
+    sim::SimConfig cfg = pc.cfg;
+    cfg.seed = kSeeds[0];
+    cfg.horizon = pc.cfg.horizon / 10.0;
+    cfg.warmup = cfg.horizon / 10.0;
+    (void)sim::simulate(cfg);
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    std::uint64_t events = 0;
+    const auto t0 = Clock::now();
+    for (const std::uint64_t seed : kSeeds) {
+      sim::SimConfig cfg = pc.cfg;
+      cfg.seed = seed;
+      events += event_count(sim::simulate(cfg));
+    }
+    const double secs = seconds_since(t0);
+    if (rep == 0 || secs < best) best = secs;
+    out.events = events;  // identical every repetition (pinned seeds)
+  }
+  out.seconds = best;
+  out.events_per_sec =
+      out.seconds > 0.0 ? static_cast<double>(out.events) / out.seconds : 0.0;
+  return out;
+}
+
+/// Times exp::Runner sharding a small uncached grid across the pool and
+/// prints a one-line summary.
+util::Json time_runner() {
+  exp::ExperimentSpec spec;
+  spec.name = "";  // no artifacts
+  spec.fidelity = exp::Fidelity::quick();
+  spec.fidelity.replications = 2;
+  spec.fidelity.horizon = 2000.0;
+  spec.fidelity.warmup = 200.0;
+  spec.lambdas = {0.5, 0.7, 0.9, 0.95};
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    exp::GridEntry e;
+    e.label = "sim" + std::to_string(n);
+    e.config.processors = n;
+    e.config.policy = sim::StealPolicy::on_empty(2);
+    e.estimate = false;
+    spec.add(std::move(e));
+  }
+  exp::RunnerOptions opts;
+  opts.cache_dir = "";      // measure compute, not cache hits
+  opts.artifact_dir = "";
+  const auto t0 = Clock::now();
+  const auto report = exp::Runner(opts).run(spec);
+  const double secs = seconds_since(t0);
+  const double jobs_per_sec =
+      secs > 0.0 ? static_cast<double>(report.results.size()) / secs : 0.0;
+  std::cout << "runner: " << report.results.size() << " jobs in "
+            << util::Table::fmt(secs, 2) << " s on " << report.threads
+            << " threads (" << util::Table::fmt(jobs_per_sec, 2)
+            << " jobs/s)\n";
+  auto j = util::Json::object();
+  j["jobs"] = report.results.size();
+  j["threads"] = static_cast<std::size_t>(report.threads);
+  j["events"] = report.events_simulated;
+  j["seconds"] = secs;
+  j["jobs_per_sec"] = jobs_per_sec;
+  j["events_per_sec"] =
+      secs > 0.0 ? static_cast<double>(report.events_simulated) / secs : 0.0;
+  return j;
+}
+
+/// Pulls `"events_per_sec": <v>` following `"name": "<name>"` out of a
+/// previously written BENCH_sim.json. A full JSON parser is overkill for
+/// reading back our own flat output.
+double baseline_rate(const std::string& doc, const std::string& name) {
+  const auto at = doc.find("\"name\": \"" + name + "\"");
+  if (at == std::string::npos) return 0.0;
+  const auto key = doc.find("\"events_per_sec\":", at);
+  if (key == std::string::npos) return 0.0;
+  return std::strtod(doc.c_str() + key + 17, nullptr);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const std::string baseline_path = argc > 2 ? argv[2] : "";
+  const std::string baseline = baseline_path.empty() ? "" : slurp(baseline_path);
+  if (!baseline_path.empty() && baseline.empty()) {
+    std::cerr << "warning: baseline " << baseline_path << " not readable\n";
+  }
+
+  std::cout << "=== perf_sim: simulator hot-path baseline ===\n\n";
+  util::Table table({"case", "events", "events/s", "baseline", "speedup"});
+  auto cases_json = util::Json::array();
+  std::uint64_t total_events = 0;
+  double total_seconds = 0.0;
+  for (const auto& pc : perf_cases()) {
+    const CaseResult r = [&] {
+      CaseResult cr = time_case(pc);
+      cr.baseline_events_per_sec = baseline_rate(baseline, pc.name);
+      return cr;
+    }();
+    total_events += r.events;
+    total_seconds += r.seconds;
+    const bool has_base = r.baseline_events_per_sec > 0.0;
+    table.add_row(
+        {r.name, std::to_string(r.events), util::Table::fmt(r.events_per_sec, 0),
+         has_base ? util::Table::fmt(r.baseline_events_per_sec, 0) : "-",
+         has_base
+             ? util::Table::fmt(r.events_per_sec / r.baseline_events_per_sec, 2)
+             : "-"});
+    auto j = util::Json::object();
+    j["name"] = r.name;
+    j["processors"] = pc.cfg.processors;
+    j["policy"] = pc.cfg.policy.name();
+    j["events"] = r.events;
+    j["seconds"] = r.seconds;
+    j["events_per_sec"] = r.events_per_sec;
+    if (has_base) {
+      j["baseline_events_per_sec"] = r.baseline_events_per_sec;
+      j["speedup"] = r.events_per_sec / r.baseline_events_per_sec;
+    }
+    cases_json.push_back(std::move(j));
+  }
+  table.print(std::cout);
+
+  const double agg_rate =
+      total_seconds > 0.0 ? static_cast<double>(total_events) / total_seconds
+                          : 0.0;
+  auto aggregate = util::Json::object();
+  aggregate["name"] = "aggregate";
+  aggregate["events"] = total_events;
+  aggregate["seconds"] = total_seconds;
+  aggregate["events_per_sec"] = agg_rate;
+  const double agg_base = baseline_rate(baseline, "aggregate");
+  std::cout << "\naggregate: " << util::Table::fmt(agg_rate, 0) << " events/s";
+  if (agg_base > 0.0) {
+    aggregate["baseline_events_per_sec"] = agg_base;
+    aggregate["speedup"] = agg_rate / agg_base;
+    std::cout << " (baseline " << util::Table::fmt(agg_base, 0) << ", "
+              << util::Table::fmt(agg_rate / agg_base, 2) << "x)";
+  }
+  std::cout << "\n\n";
+
+  auto runner = time_runner();
+
+  auto doc = util::Json::object();
+  doc["schema"] = "lsm-sim-perf/1";
+  doc["workload"] = "table1 shape: lambda=0.9, T=2; pinned seeds {1,2,3}";
+  doc["repetitions"] = static_cast<std::size_t>(kRepetitions);
+  doc["sim_cases"] = std::move(cases_json);
+  doc["aggregate"] = std::move(aggregate);
+  doc["runner"] = std::move(runner);
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

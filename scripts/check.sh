@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over
-# the concurrency-sensitive pieces (thread pool + experiment runner).
+# Tier-1 gate: full build + test suite, a ThreadSanitizer pass over the
+# concurrency-sensitive pieces (work-stealing thread pool + experiment
+# runner), and a report-only perf smoke against the committed baseline.
 #
-#   scripts/check.sh              # everything (~2 min)
-#   SKIP_TSAN=1 scripts/check.sh  # plain build + ctest only
+#   scripts/check.sh              # everything (~3 min)
+#   SKIP_TSAN=1 scripts/check.sh  # skip the sanitizer pass
+#   SKIP_PERF=1 scripts/check.sh  # skip the perf smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,13 +17,25 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "== tsan: parallel + runner determinism under -fsanitize=thread"
+  echo "== tsan: work-stealing pool + runner determinism under -fsanitize=thread"
   cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$jobs" --target test_parallel test_exp_runner
   ./build-tsan/tests/test_parallel
   ./build-tsan/tests/test_exp_runner \
     --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable'
+fi
+
+if [ "${SKIP_PERF:-0}" != "1" ]; then
+  # Report-only: prints per-case and aggregate speedup vs the committed
+  # baseline (bench/perf/BENCH_sim.baseline.json, recorded from the
+  # pre-overhaul engine). A regression shows up as a shrinking speedup
+  # column in the BENCH_sim.json diff; nothing here fails the gate, since
+  # shared-runner machines are too noisy for a hard threshold.
+  echo "== perf smoke: simulator events/sec vs committed baseline (report-only)"
+  cmake --build build -j "$jobs" --target perf_sim  # tier-1 build is Release
+  ./build/bench/perf/perf_sim bench/perf/BENCH_sim.json \
+    bench/perf/BENCH_sim.baseline.json
 fi
 
 echo "check: all green"

@@ -8,6 +8,14 @@
 // computing anything, and emits structured artifacts: a CSV of all job
 // outputs plus a JSON run manifest with per-job wall time, event counts,
 // cache provenance and aggregate steal statistics.
+//
+// Scheduling independence: par::ThreadPool is a work-stealing pool, so
+// which worker executes a job — and in what order jobs complete — is
+// nondeterministic. That is fine by contract: a Job's results are a pure
+// function of (spec.seed, entry, lambda, replication count); no state
+// flows between jobs, and the report assembles results by spec order,
+// not completion order. tests/exp_runner_test.cpp pins this down by
+// comparing timing-free manifests across pool widths 1, 2 and 8.
 #pragma once
 
 #include <string>

@@ -1,37 +1,110 @@
 #include "parallel/thread_pool.hpp"
 
+#include <stdexcept>
+
 #include "util/error.hpp"
 
 namespace lsm::par {
 
-ThreadPool::ThreadPool(unsigned threads) {
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to,
+/// so submit() from inside a task lands on that worker's own deque.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_id = 0;
+
+/// xorshift64: cheap per-worker victim randomization; no synchronization.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : count_(threads) {
   LSM_EXPECT(threads >= 1, "thread pool needs at least one worker");
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const std::scoped_lock lock(sleep_mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::enqueue(Task task) {
+  unsigned target;
+  {
+    const std::scoped_lock lock(sleep_mutex_);
+    if (stopping_) throw std::runtime_error("submit() on stopped ThreadPool");
+    target = tls_pool == this ? tls_id : next_queue_++ % size();
+    ++pending_;
+  }
+  {
+    const std::scoped_lock lock(queues_[target]->mutex);
+    queues_[target]->deque.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_own(unsigned id, Task& out) {
+  Worker& w = *queues_[id];
+  const std::scoped_lock lock(w.mutex);
+  if (w.deque.empty()) return false;
+  out = std::move(w.deque.back());  // LIFO: newest work is cache-warm
+  w.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned id, std::uint64_t& rng_state, Task& out) {
+  const unsigned n = size();
+  const auto start = static_cast<unsigned>(next_rand(rng_state) % n);
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned v = (start + k) % n;
+    if (v == id) continue;
+    Worker& victim = *queues_[v];
+    // try_lock: a victim busy with its own push/pop is skipped rather
+    // than waited on; a missed task keeps pending_ > 0, so the caller
+    // rescans instead of sleeping.
+    const std::unique_lock lock(victim.mutex, std::try_to_lock);
+    if (!lock.owns_lock() || victim.deque.empty()) continue;
+    out = std::move(victim.deque.front());  // FIFO end: oldest, coldest
+    victim.deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  tls_pool = this;
+  tls_id = id;
+  std::uint64_t rng_state = 0x9E3779B97F4A7C15ULL * (id + 1);
   for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+    Task job;
+    if (try_pop_own(id, job) || try_steal(id, rng_state, job)) {
+      {
+        const std::scoped_lock lock(sleep_mutex_);
+        --pending_;
+      }
+      job();
+      continue;
     }
-    job();
+    std::unique_lock lock(sleep_mutex_);
+    if (stopping_ && pending_ == 0) return;
+    cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+    if (stopping_ && pending_ == 0) return;
   }
 }
 

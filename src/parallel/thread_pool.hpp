@@ -1,9 +1,24 @@
-// Fixed-size thread pool used to fan simulation replications and parameter
-// sweeps across cores. Tasks are type-erased; submit() returns a future so
-// exceptions thrown inside a task propagate to the caller on get().
+// Fixed-size work-stealing thread pool used to fan simulation replications
+// and parameter sweeps across cores. Tasks are type-erased; submit()
+// returns a future so exceptions thrown inside a task propagate to the
+// caller on get().
+//
+// Each worker owns a deque: it pushes and pops its own work at the back
+// (LIFO keeps nested submissions cache-warm) and steals from the front of
+// a randomized sequence of victims when its own deque runs dry, so one
+// hot queue cannot serialize the pool the way the old single
+// central-mutex queue did. External submit() calls place tasks
+// round-robin across the workers' deques; submit() from inside a worker
+// places the task on that worker's own deque. Job futures make
+// completion observable; the pool itself guarantees only that every
+// submitted task runs exactly once — scheduling order is unspecified,
+// which is why every simulation result must be (and is) independent of
+// which worker runs which job (per-replication RNG jump streams; see
+// exp::Runner).
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -18,16 +33,16 @@ namespace lsm::par {
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1). The pool joins in the destructor
-  /// after draining the queue (RAII; no detached threads).
+  /// after draining every deque (RAII; no detached threads).
   explicit ThreadPool(unsigned threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] unsigned size() const noexcept {
-    return static_cast<unsigned>(workers_.size());
-  }
+  /// Worker count; fixed before any thread spawns (workers_ itself is
+  /// still being populated while early workers already run).
+  [[nodiscard]] unsigned size() const noexcept { return count_; }
 
   /// Enqueues `fn(args...)`; the returned future yields its result or
   /// rethrows its exception.
@@ -41,23 +56,36 @@ class ThreadPool {
           return std::invoke(std::move(f), std::move(as)...);
         });
     std::future<Result> fut = task->get_future();
-    {
-      const std::scoped_lock lock(mutex_);
-      if (stopping_) throw std::runtime_error("submit() on stopped ThreadPool");
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
  private:
-  void worker_loop();
+  using Task = std::function<void()>;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  /// One per worker thread; heap-allocated so addresses stay stable.
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> deque;  // back = owner end, front = steal end
+  };
+
+  void enqueue(Task task);
+  void worker_loop(unsigned id);
+  bool try_pop_own(unsigned id, Task& out);
+  bool try_steal(unsigned id, std::uint64_t& rng_state, Task& out);
+
+  unsigned count_ = 0;
+  std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unclaimed tasks and
+  // is only modified while holding sleep_mutex_, so a worker checking the
+  // wait predicate cannot miss a wakeup.
+  std::mutex sleep_mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  unsigned next_queue_ = 0;  ///< round-robin cursor for external submits
 };
 
 }  // namespace lsm::par

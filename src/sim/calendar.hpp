@@ -1,0 +1,133 @@
+// Indexed per-processor event calendar: a complete binary tournament
+// (winner) tree over a fixed set of n processor slots, each holding at
+// most one pending event keyed by (time, seq).
+//
+// The simulator's two dominant event streams have exactly this shape —
+// every processor always owns one pending Arrival (a self-regenerating
+// Poisson stream) and at most one pending Completion (service is serial)
+// — so instead of churning push/pop traffic through one big heap, the
+// engine keeps each stream in a ProcCalendar and re-keys slots in place.
+// Inactive slots sit at (+inf, max seq), so they lose every match and
+// never need removing.
+//
+// Why a tournament tree and not a d-ary heap: the hot operation is
+// "re-key the current minimum" (the processor whose event just fired
+// schedules its next one), and in a heap that is a sift whose per-level
+// exit branch and min-of-d child scan are data-dependent and hard to
+// predict. In the winner tree the update path is structural — leaf
+// base_+p up to the root, exactly log2(base_) matches — and each match
+// is branchless regardless of where the new key ranks.
+//
+// Each node is one unsigned __int128: the high 64 bits are the time's
+// IEEE-754 pattern (order-isomorphic to the double for non-negative
+// times, with +inf above every finite value), the low 64 bits are
+// seq << 20 | proc. Sequence numbers are globally unique, so unsigned
+// comparison of the packed word IS the (time, seq) order — one load,
+// one compare and one store per match instead of three parallel arrays,
+// which both halves the memory footprint and shortens the dependency
+// chain of the replay loop. Keys carry the caller-allocated global
+// sequence number, so merging the tops of several calendars by
+// (time, seq) yields exactly the pop order one shared heap would have
+// produced — the bit-for-bit determinism invariant the golden trace
+// tests pin down.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lsm::sim {
+
+class ProcCalendar {
+ public:
+  struct Key {
+    double time;
+    std::uint64_t seq;
+
+    [[nodiscard]] bool before(const Key& o) const noexcept {
+      return time < o.time || (time == o.time && seq < o.seq);
+    }
+  };
+
+  static constexpr double kIdle = std::numeric_limits<double>::infinity();
+
+  /// Field widths of the packed low word. 2^20 processors and 2^44
+  /// in-flight sequence numbers are far beyond any simulated system.
+  static constexpr std::uint32_t kProcBits = 20;
+  static constexpr std::uint64_t kMaxSeq = (1ULL << (64 - kProcBits)) - 1;
+
+  explicit ProcCalendar(std::size_t processors) : n_(processors) {
+    LSM_EXPECT(processors < (1ULL << kProcBits),
+               "ProcCalendar supports at most 2^20 processors");
+    base_ = 1;
+    while (base_ < n_) base_ <<= 1;
+    // Slot 1 is the root, slots [base_, base_ + n_) are the leaves;
+    // leaves [n_, base_) are permanent (+inf) padding that never wins.
+    nodes_.assign(2 * base_, kIdleNode);
+  }
+
+  [[nodiscard]] std::size_t active() const noexcept { return active_; }
+  [[nodiscard]] bool empty() const noexcept { return active_ == 0; }
+
+  /// Earliest pending (time, seq); (+inf, max) when no slot is active.
+  [[nodiscard]] Key top_key() const noexcept {
+    const Node top = nodes_[1];
+    return Key{std::bit_cast<double>(static_cast<std::uint64_t>(top >> 64)),
+               static_cast<std::uint64_t>(top) >> kProcBits};
+  }
+
+  /// Processor owning the earliest pending event (valid when !empty()).
+  [[nodiscard]] std::uint32_t top_proc() const noexcept {
+    return static_cast<std::uint32_t>(nodes_[1]) & ((1u << kProcBits) - 1);
+  }
+
+  /// Schedules (or reschedules) processor p's pending event: overwrite
+  /// the leaf, replay the matches up its fixed path.
+  void set(std::uint32_t p, double time, std::uint64_t seq) {
+    LSM_ASSERT(time < kIdle && time >= 0.0 && seq <= kMaxSeq);
+    if (nodes_[base_ + p] == kIdleNode) ++active_;
+    replay(p, pack(time, seq, p));
+  }
+
+  /// Cancels processor p's pending event (idempotent).
+  void clear(std::uint32_t p) {
+    if (nodes_[base_ + p] == kIdleNode) return;
+    --active_;
+    replay(p, kIdleNode);
+  }
+
+ private:
+  using Node = unsigned __int128;
+
+  /// (+inf, max seq, max proc): loses every match, decodes as idle.
+  static constexpr Node kIdleNode =
+      Node{0x7FF0000000000000ULL} << 64 | ~std::uint64_t{0};
+
+  static Node pack(double time, std::uint64_t seq, std::uint32_t p) noexcept {
+    return Node{std::bit_cast<std::uint64_t>(time)} << 64 |
+           (seq << kProcBits | p);
+  }
+
+  void replay(std::uint32_t p, Node value) {
+    Node* nodes = nodes_.data();
+    std::size_t i = base_ + p;
+    nodes[i] = value;
+    while (i > 1) {
+      i >>= 1;
+      const Node l = nodes[2 * i];
+      const Node r = nodes[2 * i + 1];
+      nodes[i] = l < r ? l : r;
+    }
+  }
+
+  std::size_t n_;
+  std::size_t base_ = 1;  ///< leaf block offset (n_ rounded up to a power of 2)
+  std::size_t active_ = 0;
+  // Tournament nodes: [1] root, [base_, base_+n_) leaves.
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lsm::sim

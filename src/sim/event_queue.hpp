@@ -1,15 +1,20 @@
-// Deterministic event calendar for the discrete-event simulator: a binary
-// min-heap on (time, insertion sequence). The sequence tie-break makes
-// simulations bit-for-bit reproducible for a given seed even when event
-// times collide exactly.
+// Deterministic event calendar for the discrete-event simulator: a 4-ary
+// implicit min-heap on (time, insertion sequence). The sequence tie-break
+// makes simulations bit-for-bit reproducible for a given seed even when
+// event times collide exactly — and because (time, seq) is a strict total
+// order, the pop sequence is independent of the heap arity: this 4-ary
+// layout emits exactly the events the original binary heap did, it just
+// touches half the cache lines doing it (tree depth log4 vs log2, with
+// all four children of a node adjacent in memory).
 //
 // Cancellation is by generation stamps held by the caller: events carry
 // whatever payload the caller provides, and stale events are recognized
 // (and skipped) when popped rather than removed eagerly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -25,8 +30,18 @@ class EventQueue {
     Payload payload;
   };
 
+  /// Self-sequenced push: ties break in push order within this queue.
   void push(double time, Payload payload) {
-    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    push_with_seq(time, next_seq_++, std::move(payload));
+  }
+
+  /// Push under an externally allocated sequence number, for callers that
+  /// merge several calendars into one global (time, seq) order (the
+  /// simulator engine shares one counter across its arrival, completion
+  /// and spill calendars). Mixing this with push() on the same queue is
+  /// the caller's responsibility.
+  void push_with_seq(double time, std::uint64_t seq, Payload payload) {
+    heap_.push_back(Entry{time, seq, std::move(payload)});
     sift_up(heap_.size() - 1);
   }
 
@@ -41,38 +56,53 @@ class EventQueue {
   Entry pop() {
     LSM_ASSERT(!heap_.empty());
     Entry out = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
     return out;
   }
 
+  /// Drops every entry; keeps the sequence counter and capacity.
+  void clear() noexcept { heap_.clear(); }
+
  private:
+  static constexpr std::size_t kArity = 4;
+
   [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
     return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }
 
   void sift_up(std::size_t i) {
+    Entry moving = std::move(heap_[i]);
     while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!before(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(moving, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
       i = parent;
     }
+    heap_[i] = std::move(moving);
   }
 
   void sift_down(std::size_t i) {
     const std::size_t n = heap_.size();
+    Entry moving = std::move(heap_[i]);
     for (;;) {
-      std::size_t best = i;
-      const std::size_t l = 2 * i + 1;
-      const std::size_t r = 2 * i + 2;
-      if (l < n && before(heap_[l], heap_[best])) best = l;
-      if (r < n && before(heap_[r], heap_[best])) best = r;
-      if (best == i) return;
-      std::swap(heap_[i], heap_[best]);
+      const std::size_t first = kArity * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], moving)) break;
+      heap_[i] = std::move(heap_[best]);
       i = best;
     }
+    heap_[i] = std::move(moving);
   }
 
   std::vector<Entry> heap_;

@@ -1,9 +1,11 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <limits>
 
+#include "sim/calendar.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/task_ring.hpp"
 #include "util/error.hpp"
 #include "util/statistics.hpp"
 
@@ -40,9 +42,12 @@ void SimConfig::validate() const {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Spill events: the rare, cancellable kinds. Arrivals and completions —
+/// the two streams that dominate event volume — live in per-processor
+/// ProcCalendar slots instead and never pass through this queue.
 enum class Ev : std::uint8_t {
-  Arrival,
-  Completion,
   Retry,
   TransferArrive,
   Rebalance,
@@ -115,7 +120,7 @@ class TailStats {
 };
 
 struct Proc {
-  std::deque<double> queue;  // task arrival times; front() is in service
+  TaskRing<double> queue;  // task arrival times; front() is in service
   std::vector<double> inflight;  // stolen tasks en route to this processor
   bool waiting = false;          // awaiting a transfer (steal one at a time)
   std::uint64_t retry_stamp = 0;
@@ -129,6 +134,8 @@ class Engine {
       : cfg_(cfg),
         rng_(rng),
         procs_(cfg.processors),
+        arrivals_(cfg.processors),
+        completions_(cfg.processors),
         tails_(cfg.processors, cfg.histogram_limit) {
     if (!cfg_.speed_groups.empty()) {
       std::size_t p = 0;
@@ -145,6 +152,19 @@ class Engine {
         procs_[p].speed = cfg_.slow_speed;
       }
     }
+    // Hoisted inverse rates: one division at setup instead of one per
+    // event. The quotients are the exact doubles the per-event divisions
+    // produced, so every sampled value is bit-identical.
+    const StealPolicy& pol = cfg_.policy;
+    mean_interarrival_ = cfg_.arrival_rate + cfg_.internal_rate > 0.0
+                             ? 1.0 / (cfg_.arrival_rate + cfg_.internal_rate)
+                             : 0.0;
+    if (pol.retry_rate > 0.0) mean_retry_ = 1.0 / pol.retry_rate;
+    if (pol.rebalance_rate > 0.0) mean_rebalance_ = 1.0 / pol.rebalance_rate;
+    if (pol.transfer_stages > 0) {
+      transfer_stage_mean_ =
+          pol.transfer_mean / static_cast<double>(pol.transfer_stages);
+    }
   }
 
   SimResult run() {
@@ -154,8 +174,26 @@ class Engine {
     double now = 0.0;
     bool hit_horizon = false;
     double next_sample = cfg_.timeline_dt > 0.0 ? 0.0 : horizon + 1.0;
-    while (!eq_.empty()) {
-      const double t_next = eq_.top().time;
+    // Merge loop over the three calendars: the next event is the least
+    // (time, seq) among their tops, which is exactly the pop order of the
+    // original single shared heap.
+    for (;;) {
+      enum class Src : std::uint8_t { None, Arrival, Completion, Spill };
+      ProcCalendar::Key next = arrivals_.top_key();
+      Src src = next.time < kInf ? Src::Arrival : Src::None;
+      if (const auto& ck = completions_.top_key(); ck.before(next)) {
+        next = ck;
+        src = Src::Completion;
+      }
+      if (!spill_.empty()) {
+        const auto& se = spill_.top();
+        if (ProcCalendar::Key{se.time, se.seq}.before(next)) {
+          next = ProcCalendar::Key{se.time, se.seq};
+          src = Src::Spill;
+        }
+      }
+      if (src == Src::None) break;  // drained
+      const double t_next = next.time;
       if (t_next > horizon) {
         hit_horizon = true;  // state stays frozen from `now` to the horizon
         break;
@@ -167,9 +205,33 @@ class Engine {
         next_sample += cfg_.timeline_dt;
       }
       if (!warmup_done_ && t_next >= cfg_.warmup) begin_measurement();
-      auto entry = eq_.pop();
-      now = entry.time;
-      dispatch(entry.payload, now);
+      now = t_next;
+      switch (src) {
+        case Src::Arrival:
+          on_arrival(arrivals_.top_proc(), now);
+          break;
+        case Src::Completion: {
+          // Fused re-key: the fired slot is left in place while the
+          // handler runs; if the processor starts another service (next
+          // queued task, or an instant steal), start_service re-keys the
+          // same slot with one sift — otherwise it is cleared here. This
+          // halves the calendar traffic on the busy path versus
+          // clear-then-set (sink +inf to the bottom, then sift back up).
+          const std::uint32_t p = completions_.top_proc();
+          pending_clear_ = p;
+          on_completion(p, now);
+          if (pending_clear_ != kNoProc) completions_.clear(p);
+          pending_clear_ = kNoProc;
+          break;
+        }
+        case Src::Spill: {
+          const auto entry = spill_.pop();
+          dispatch_spill(entry.payload, now);
+          break;
+        }
+        case Src::None:
+          break;
+      }
     }
     if (hit_horizon) {
       while (next_sample <= horizon) {  // frozen state up to the horizon
@@ -207,8 +269,12 @@ class Engine {
   void seed_arrivals() {
     max_rate_ = cfg_.arrival_rate + cfg_.internal_rate;
     if (max_rate_ <= 0.0) return;
+    // Thinning acceptance ratio while idle, hoisted from the per-arrival
+    // division rate_now / max_rate_ (identical operands, identical bits).
+    thin_while_idle_ = cfg_.internal_rate > 0.0;
+    idle_accept_ = cfg_.arrival_rate / max_rate_;
     for (std::uint32_t p = 0; p < procs_.size(); ++p) {
-      eq_.push(rng_.exponential(1.0 / max_rate_), Payload{Ev::Arrival, p, 0});
+      arrivals_.set(p, rng_.exponential(mean_interarrival_), next_seq_++);
     }
   }
 
@@ -257,14 +323,8 @@ class Engine {
 
   // --- event dispatch ------------------------------------------------------
 
-  void dispatch(const Payload& ev, double t) {
+  void dispatch_spill(const Payload& ev, double t) {
     switch (ev.kind) {
-      case Ev::Arrival:
-        on_arrival(ev.proc, t);
-        break;
-      case Ev::Completion:
-        on_completion(ev.proc, t);
-        break;
       case Ev::Retry:
         on_retry(ev.proc, ev.stamp, t);
         break;
@@ -279,12 +339,12 @@ class Engine {
 
   void on_arrival(std::uint32_t p, double t) {
     // Each processor owns a Poisson stream at the maximum rate; thinning
-    // yields the load-dependent rate lambda_ext + [busy] lambda_int.
-    eq_.push(t + rng_.exponential(1.0 / max_rate_), Payload{Ev::Arrival, p, 0});
+    // yields the load-dependent rate lambda_ext + [busy] lambda_int. The
+    // stream's slot is re-keyed in place: one sift instead of pop + push.
+    arrivals_.set(p, t + rng_.exponential(mean_interarrival_), next_seq_++);
     auto& proc = procs_[p];
-    const double rate_now =
-        cfg_.arrival_rate + (proc.queue.empty() ? 0.0 : cfg_.internal_rate);
-    if (rate_now < max_rate_ && rng_.uniform() >= rate_now / max_rate_) {
+    if (thin_while_idle_ && proc.queue.empty() &&
+        rng_.uniform() >= idle_accept_) {
       return;  // thinned away
     }
     ++result_.arrivals;
@@ -428,7 +488,8 @@ class Engine {
   }
 
   /// Moves `take` tasks from the tail of victim to thief (instantly or via
-  /// a transfer, per policy).
+  /// a transfer, per policy). Uses the engine's scratch buffer; no
+  /// steady-state allocation.
   void move_tasks(std::uint32_t victim, std::uint32_t thief, std::size_t take,
                   double t) {
     auto& vic = procs_[victim];
@@ -436,15 +497,13 @@ class Engine {
     LSM_ASSERT(take >= 1 && vic.queue.size() > take);
     result_.tasks_moved += take;
     const std::size_t vic_load = vic.queue.size();
-    std::vector<double> moved(vic.queue.end() - static_cast<std::ptrdiff_t>(take),
-                              vic.queue.end());
-    vic.queue.erase(vic.queue.end() - static_cast<std::ptrdiff_t>(take),
-                    vic.queue.end());
+    scratch_.clear();
+    vic.queue.take_back(take, scratch_);
     tails_.change(vic_load, vic_load - take, t);
 
     if (cfg_.policy.transfer == StealPolicy::Transfer::Instant) {
       const std::size_t old_load = thf.queue.size();
-      for (double arrived : moved) thf.queue.push_back(arrived);
+      for (double arrived : scratch_) thf.queue.push_back(arrived);
       note_queue_grew(thf);
       tails_.change(old_load, old_load + take, t);
       invalidate_retries(thf);
@@ -453,10 +512,10 @@ class Engine {
         on_became_busy(thief, t);
       }
     } else {
-      thf.inflight = std::move(moved);
+      thf.inflight.assign(scratch_.begin(), scratch_.end());
       thf.waiting = true;
       invalidate_retries(thf);
-      eq_.push(t + sample_transfer(), Payload{Ev::TransferArrive, thief, 0});
+      push_spill(t + sample_transfer(), Payload{Ev::TransferArrive, thief, 0});
     }
   }
 
@@ -476,14 +535,12 @@ class Engine {
     auto& dn = procs_[donor];
     auto& rc = procs_[recv];
     result_.tasks_moved += take;
-    std::vector<double> moved(dn.queue.end() - static_cast<std::ptrdiff_t>(take),
-                              dn.queue.end());
-    dn.queue.erase(dn.queue.end() - static_cast<std::ptrdiff_t>(take),
-                   dn.queue.end());
+    scratch_.clear();
+    dn.queue.take_back(take, scratch_);
     tails_.change(donor_before, donor_after, t);
 
     const std::size_t recv_before = rc.queue.size();
-    for (double arrived : moved) rc.queue.push_back(arrived);
+    for (double arrived : scratch_) rc.queue.push_back(arrived);
     note_queue_grew(rc);
     tails_.change(recv_before, recv_before + take, t);
     invalidate_retries(rc);
@@ -495,6 +552,10 @@ class Engine {
 
   // --- scheduling helpers ----------------------------------------------------
 
+  void push_spill(double time, Payload payload) {
+    spill_.push_with_seq(time, next_seq_++, payload);
+  }
+
   [[nodiscard]] double sample_transfer() {
     switch (cfg_.policy.transfer) {
       case StealPolicy::Transfer::Exponential:
@@ -502,12 +563,9 @@ class Engine {
       case StealPolicy::Transfer::Constant:
         return cfg_.policy.transfer_mean;
       case StealPolicy::Transfer::Erlang: {
-        const double stage_mean =
-            cfg_.policy.transfer_mean /
-            static_cast<double>(cfg_.policy.transfer_stages);
         double acc = 0.0;
         for (std::size_t m = 0; m < cfg_.policy.transfer_stages; ++m) {
-          acc += rng_.exponential(stage_mean);
+          acc += rng_.exponential(transfer_stage_mean_);
         }
         return acc;
       }
@@ -521,20 +579,22 @@ class Engine {
   void start_service(std::uint32_t p, double t) {
     auto& proc = procs_[p];
     LSM_ASSERT(!proc.queue.empty());
-    const double duration = cfg_.service.sample(rng_) / proc.speed;
-    eq_.push(t + duration, Payload{Ev::Completion, p, 0});
+    double duration = cfg_.service.sample(rng_);
+    if (proc.speed != 1.0) duration /= proc.speed;
+    if (p == pending_clear_) pending_clear_ = kNoProc;  // fused re-key
+    completions_.set(p, t + duration, next_seq_++);
   }
 
   void schedule_retry(std::uint32_t p, double t) {
     auto& proc = procs_[p];
-    eq_.push(t + rng_.exponential(1.0 / cfg_.policy.retry_rate),
-             Payload{Ev::Retry, p, proc.retry_stamp});
+    push_spill(t + rng_.exponential(mean_retry_),
+               Payload{Ev::Retry, p, proc.retry_stamp});
   }
 
   void schedule_rebalance(std::uint32_t p, double t) {
     auto& proc = procs_[p];
-    eq_.push(t + rng_.exponential(1.0 / cfg_.policy.rebalance_rate),
-             Payload{Ev::Rebalance, p, proc.rebalance_stamp});
+    push_spill(t + rng_.exponential(mean_rebalance_),
+               Payload{Ev::Rebalance, p, proc.rebalance_stamp});
   }
 
   static void invalidate_retries(Proc& proc) { ++proc.retry_stamp; }
@@ -550,10 +610,14 @@ class Engine {
 
   /// Victim index per the policy's sampling mode; may equal p when
   /// victims_include_self (the caller treats that as a failed probe).
+  /// With a single processor the only possible victim is p itself — the
+  /// uniform draw over the other n-1 processors would be rng_.below(0).
   [[nodiscard]] std::uint32_t random_victim(std::uint32_t p) {
+    LSM_ASSERT(p < procs_.size());
     if (cfg_.policy.victims_include_self) {
       return static_cast<std::uint32_t>(rng_.below(procs_.size()));
     }
+    if (procs_.size() == 1) return p;  // no other processor to probe
     auto v = static_cast<std::uint32_t>(rng_.below(procs_.size() - 1));
     if (v >= p) ++v;
     return v;
@@ -562,11 +626,26 @@ class Engine {
   const SimConfig& cfg_;
   util::Xoshiro256 rng_;
   std::vector<Proc> procs_;
-  EventQueue<Payload> eq_;
+  ProcCalendar arrivals_;     ///< one self-regenerating slot per processor
+  ProcCalendar completions_;  ///< at most one in-service task per processor
+  EventQueue<Payload> spill_;  ///< rare cancellable events (retry/transfer/...)
+  std::uint64_t next_seq_ = 0;  ///< global (time, seq) tie-break counter
+  static constexpr std::uint32_t kNoProc =
+      std::numeric_limits<std::uint32_t>::max();
+  /// Completing processor whose calendar slot still holds the fired key;
+  /// start_service cancels the deferred clear by re-keying it in place.
+  std::uint32_t pending_clear_ = kNoProc;
   TailStats tails_;
   SimResult result_;
+  std::vector<double> scratch_;  ///< reusable steal/rebalance staging buffer
 
   double max_rate_ = 0.0;
+  double mean_interarrival_ = 0.0;  ///< 1 / max_rate_ (hoisted division)
+  double mean_retry_ = 0.0;         ///< 1 / retry_rate
+  double mean_rebalance_ = 0.0;     ///< 1 / rebalance_rate
+  double transfer_stage_mean_ = 0.0;
+  double idle_accept_ = 1.0;      ///< arrival_rate / max_rate_
+  bool thin_while_idle_ = false;  ///< internal_rate > 0: idle arrivals thin
   bool warmup_done_ = false;
   std::uint64_t total_tasks_ = 0;
   double tasks_acc_ = 0.0;

@@ -1,0 +1,101 @@
+// Growable ring buffer used for the simulator's per-processor task queues.
+//
+// The engine pushes task arrival times at the back (new work), pops from
+// the front (FIFO service) and removes from the back (steal-from-tail), so
+// the container is a deque — but std::deque's segmented storage allocates
+// and frees blocks as the live window slides, putting allocator traffic on
+// the per-event hot path. This ring keeps one power-of-two array and masks
+// indices instead: steady-state push/pop touch no allocator at all, and
+// growth is amortized O(1) with FIFO order preserved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lsm::sim {
+
+template <typename T>
+class TaskRing {
+ public:
+  TaskRing() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Oldest element (head of the FIFO; the task in service).
+  [[nodiscard]] const T& front() const noexcept {
+    LSM_ASSERT(size_ > 0);
+    return buf_[head_];
+  }
+
+  /// Newest element (tail; the next task a thief would take).
+  [[nodiscard]] const T& back() const noexcept {
+    LSM_ASSERT(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+
+  /// i-th element in FIFO order (0 = front).
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    LSM_ASSERT(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  void pop_front() noexcept {
+    LSM_ASSERT(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void pop_back() noexcept {
+    LSM_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  /// Appends the last `count` elements (in FIFO order) to `out` and removes
+  /// them — the steal-from-tail primitive. `out` is typically a reusable
+  /// scratch buffer owned by the caller.
+  void take_back(std::size_t count, std::vector<T>& out) {
+    LSM_ASSERT(count <= size_);
+    const std::size_t start = size_ - count;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(buf_[(head_ + start + i) & mask_]);
+    }
+    size_ -= count;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;  // power of two
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace lsm::sim

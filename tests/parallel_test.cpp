@@ -60,6 +60,59 @@ TEST(ThreadPool, RejectsZeroWorkers) {
   EXPECT_THROW(par::ThreadPool(0), util::LogicError);
 }
 
+TEST(ThreadPool, NestedSubmitFromWorkerRuns) {
+  // Tasks submitted from inside a worker land on that worker's own deque;
+  // the other workers steal from it. All of them must run exactly once.
+  par::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  auto outer = pool.submit([&] {
+    std::vector<std::future<void>> inner;
+    inner.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      inner.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    return inner;
+  });
+  for (auto& f : outer.get()) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SingleWorkerRunsNestedSubmitsWithoutDeadlock) {
+  // A 1-wide pool has no thief to hand nested work to: the spawning task
+  // must be able to return and let the same worker drain its own deque.
+  par::ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  auto outer = pool.submit([&] {
+    std::vector<std::future<void>> inner;
+    for (int i = 0; i < 16; ++i) {
+      inner.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    return inner;
+  });
+  for (auto& f : outer.get()) f.get();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmitters) {
+  // External submits round-robin across worker deques; hammer them from
+  // several threads at once (the TSan build runs this too).
+  par::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> fs;
+      fs.reserve(100);
+      for (int i = 0; i < 100; ++i) {
+        fs.push_back(pool.submit([&counter] { ++counter; }));
+      }
+      for (auto& f : fs) f.get();
+    });
+  }
+  for (auto& th : submitters) th.join();
+  EXPECT_EQ(counter.load(), 400);
+}
+
 TEST(ParallelFor, CoversEveryIndexOnce) {
   par::ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

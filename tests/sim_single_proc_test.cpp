@@ -1,0 +1,79 @@
+// Regression tests for single-processor configurations.
+//
+// With processors == 1 there is no other processor to probe: a uniform
+// draw over the "other n-1 processors" would be rng.below(0), which is
+// the latent edge case random_victim now guards (it returns the thief
+// itself, which every caller already treats as a failed probe). Every
+// policy kind must run a 1-processor simulation cleanly, with and
+// without victims_include_self, and behave like a plain M/M/1 worker:
+// no successful steals, no forwarded or moved tasks.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace lsm;
+
+std::vector<std::pair<const char*, sim::StealPolicy>> all_policy_kinds() {
+  auto erlang = sim::StealPolicy::with_transfer(
+      0.1, 2, sim::StealPolicy::Transfer::Erlang);
+  erlang.transfer_stages = 3;
+  return {
+      {"none", sim::StealPolicy::none()},
+      {"on_empty", sim::StealPolicy::on_empty(2)},
+      {"multi_steal", sim::StealPolicy::on_empty(4, 2, 2)},
+      {"retries", sim::StealPolicy::with_retries(1.0, 2)},
+      {"transfer_exp", sim::StealPolicy::with_transfer(0.1, 2)},
+      {"transfer_erlang", std::move(erlang)},
+      {"preemptive", sim::StealPolicy::preemptive(1, 2)},
+      {"composed", sim::StealPolicy::composed(1, 4, 2, 2, 0.5)},
+      {"rebalance", sim::StealPolicy::rebalance(0.5)},
+      {"share", sim::StealPolicy::sharing(2)},
+  };
+}
+
+TEST(SingleProcessor, EveryPolicyKindRunsCleanly) {
+  for (const bool include_self : {true, false}) {
+    for (const auto& [name, policy] : all_policy_kinds()) {
+      sim::SimConfig cfg;
+      cfg.processors = 1;
+      cfg.arrival_rate = 0.8;
+      cfg.horizon = 500.0;
+      cfg.warmup = 50.0;
+      cfg.seed = 7;
+      cfg.policy = policy;
+      cfg.policy.victims_include_self = include_self;
+      const sim::SimResult r = sim::simulate(cfg);
+      SCOPED_TRACE(name);
+      EXPECT_GT(r.arrivals, 0u);
+      EXPECT_GT(r.completions, 0u);
+      // One processor: nothing to steal from, forward to, or balance with.
+      EXPECT_EQ(r.steal_successes, 0u);
+      EXPECT_EQ(r.tasks_moved, 0u);
+    }
+  }
+}
+
+TEST(SingleProcessor, StaticDrainCompletesEverything) {
+  for (const bool include_self : {true, false}) {
+    sim::SimConfig cfg;
+    cfg.processors = 1;
+    cfg.arrival_rate = 0.0;
+    cfg.initial_tasks = 40;
+    cfg.loaded_count = 1;
+    cfg.horizon = 1000.0;
+    cfg.warmup = 0.0;
+    cfg.seed = 11;
+    cfg.policy = sim::StealPolicy::on_empty(2);
+    cfg.policy.victims_include_self = include_self;
+    const sim::SimResult r = sim::simulate(cfg);
+    EXPECT_EQ(r.completions, 40u);
+    EXPECT_EQ(r.tasks_remaining, 0u);
+  }
+}
+
+}  // namespace
