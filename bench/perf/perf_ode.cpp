@@ -1,0 +1,284 @@
+// Fixed-point engine performance harness: the repo's tracked ODE baseline.
+//
+// Solves a pinned model x lambda grid spanning the explicit, stiff and
+// multi-class paths and reports, per case, the derivative-evaluation count
+// (the primary metric: it is deterministic and machine-independent) and
+// best-of-5 wall time. Writes the measurements as JSON and, when given a
+// committed baseline file, prints and embeds per-case and aggregate
+// evaluation reductions and wall-time speedups so solver regressions show
+// up as a diff.
+//
+//   perf_ode [out.json] [baseline.json] [--mode=current|legacy]
+//
+// Defaults: out = BENCH_ode.json, no baseline, mode = current. Mode
+// `legacy` pins the pre-engine behaviour (explicit relaxation or banded
+// pseudo-transient continuation at the constructed truncation, no Anderson
+// acceleration, no adaptive truncation); it exists to record
+// BENCH_ode.baseline.json from the same binary. E[T] per case is included
+// in the JSON so an accidental semantic change is visible in the diff
+// (tests/golden_values_test.cpp pins the same values independently).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fixed_point.hpp"
+#include "core/multi_class_ws.hpp"
+#include "core/registry.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lsm;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PerfCase {
+  std::string name;
+  std::function<std::unique_ptr<core::MeanFieldModel>()> make;
+};
+
+struct CaseResult {
+  std::string name;
+  std::size_t rhs_evals = 0;
+  double seconds = 0.0;
+  double sojourn = 0.0;
+  std::string method;
+  std::size_t final_truncation = 0;
+  double baseline_evals = 0.0;   // 0 = no baseline
+  double baseline_seconds = 0.0;
+};
+
+std::unique_ptr<core::MeanFieldModel> reg(const std::string& name,
+                                          double lambda,
+                                          core::ModelParams params = {}) {
+  return core::make_model(name, lambda, std::move(params));
+}
+
+/// Pinned grid: explicit single-tail models across the load range, the
+/// stiff Erlang path at two stage counts, the segmented transfer models,
+/// and the multi-class models. Names encode model and lambda so baseline
+/// lookup survives reordering.
+std::vector<PerfCase> perf_cases() {
+  std::vector<PerfCase> cases;
+  auto add = [&](std::string name,
+                 std::function<std::unique_ptr<core::MeanFieldModel>()> make) {
+    cases.push_back({std::move(name), std::move(make)});
+  };
+  add("simple_l0.70", [] { return reg("simple", 0.70); });
+  add("simple_l0.99", [] { return reg("simple", 0.99); });
+  add("no_stealing_l0.95", [] { return reg("no-stealing", 0.95); });
+  add("threshold_T4_l0.90", [] { return reg("threshold", 0.90, {{"T", 4}}); });
+  add("multi_choice_d2_l0.90",
+      [] { return reg("multi-choice", 0.90, {{"d", 2}, {"T", 3}}); });
+  add("multi_steal_k2_l0.90",
+      [] { return reg("multi-steal", 0.90, {{"k", 2}, {"T", 4}}); });
+  add("repeated_r1_l0.90",
+      [] { return reg("repeated", 0.90, {{"r", 1}, {"T", 3}}); });
+  add("composed_l0.90", [] {
+    return reg("composed", 0.90, {{"T", 4}, {"d", 2}, {"k", 2}, {"B", 1}});
+  });
+  add("preemptive_B1_l0.90",
+      [] { return reg("preemptive", 0.90, {{"B", 1}, {"T", 2}}); });
+  add("rebalance_r1_l0.90", [] { return reg("rebalance", 0.90, {{"r", 1}}); });
+  add("sharing_S1_l0.90", [] { return reg("sharing", 0.90, {{"S", 1}}); });
+  add("erlang_c10_l0.90", [] { return reg("erlang", 0.90, {{"c", 10}}); });
+  add("erlang_c20_l0.70", [] { return reg("erlang", 0.70, {{"c", 20}}); });
+  add("transfer_r4_l0.90",
+      [] { return reg("transfer", 0.90, {{"r", 4}, {"T", 2}}); });
+  add("staged_transfer_c3_l0.90", [] {
+    return reg("staged-transfer", 0.90, {{"r", 4}, {"c", 3}, {"T", 2}});
+  });
+  add("heterogeneous_l0.90", [] {
+    return reg("heterogeneous", 0.90,
+               {{"f", 0.5}, {"mu_f", 1.5}, {"mu_s", 0.5}, {"T", 2}});
+  });
+  add("multi_class3_l0.90", [] {
+    return std::make_unique<core::MultiClassWS>(
+        0.90,
+        std::vector<core::ProcessorClass>{
+            {0.25, 1.6}, {0.5, 1.0}, {0.25, 0.4}},
+        2);
+  });
+  return cases;
+}
+
+/// Pre-engine behaviour, used to record the committed baseline: explicit
+/// relaxation (or the banded stiff path, which models opted into before)
+/// at the constructed truncation, Newton polish unchanged.
+core::FixedPointOptions legacy_options(const core::MeanFieldModel& model) {
+  core::FixedPointOptions opts;
+  opts.truncation = core::TruncationMode::Fixed;
+  opts.method = model.stiff_bandwidth() > 0 ? ode::FixedPointMethod::Stiff
+                                            : ode::FixedPointMethod::Relax;
+  return opts;
+}
+
+/// Repetitions per case; the fastest is reported. Best-of timing measures
+/// the code, not whatever else the machine was doing.
+constexpr int kRepetitions = 5;
+
+CaseResult time_case(const PerfCase& pc, bool legacy) {
+  const auto model = pc.make();
+  const core::FixedPointOptions opts =
+      legacy ? legacy_options(*model) : core::FixedPointOptions{};
+  CaseResult out;
+  out.name = pc.name;
+  (void)core::solve_fixed_point(*model, opts);  // untimed warmup
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const auto t0 = Clock::now();
+    const auto r = core::solve_fixed_point(*model, opts);
+    const double secs = seconds_since(t0);
+    if (rep == 0 || secs < out.seconds) out.seconds = secs;
+    out.rhs_evals = r.rhs_evals;  // deterministic: identical every rep
+    out.sojourn = model->mean_sojourn(r.state);
+    out.method = ode::to_string(r.method);
+    out.final_truncation = r.final_truncation;
+  }
+  return out;
+}
+
+/// Pulls `"<key>": <v>` following `"name": "<name>"` out of a previously
+/// written BENCH_ode.json. A full JSON parser is overkill for reading back
+/// our own flat output.
+double baseline_value(const std::string& doc, const std::string& name,
+                      const std::string& key) {
+  const auto at = doc.find("\"name\": \"" + name + "\"");
+  if (at == std::string::npos) return 0.0;
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = doc.find(needle, at);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(doc.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_ode.json";
+  std::string baseline_path;
+  bool legacy = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mode=legacy") {
+      legacy = true;
+    } else if (arg == "--mode=current") {
+      legacy = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg
+                << " (usage: perf_ode [out.json] [baseline.json]"
+                   " [--mode=current|legacy])\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!positional.empty()) out_path = positional[0];
+  if (positional.size() > 1) baseline_path = positional[1];
+  const std::string baseline =
+      baseline_path.empty() ? "" : slurp(baseline_path);
+  if (!baseline_path.empty() && baseline.empty()) {
+    std::cerr << "warning: baseline " << baseline_path << " not readable\n";
+  }
+
+  std::cout << "=== perf_ode: fixed-point engine baseline ("
+            << (legacy ? "legacy" : "current") << " mode) ===\n\n";
+  util::Table table({"case", "method", "L", "rhs evals", "ms", "base evals",
+                     "eval redux", "speedup"});
+  auto cases_json = util::Json::array();
+  std::size_t total_evals = 0;
+  double total_seconds = 0.0;
+  for (const auto& pc : perf_cases()) {
+    CaseResult r = time_case(pc, legacy);
+    r.baseline_evals = baseline_value(baseline, r.name, "rhs_evals");
+    r.baseline_seconds = baseline_value(baseline, r.name, "seconds");
+    total_evals += r.rhs_evals;
+    total_seconds += r.seconds;
+    const bool has_base = r.baseline_evals > 0.0;
+    table.add_row(
+        {r.name, r.method, std::to_string(r.final_truncation),
+         std::to_string(r.rhs_evals), util::Table::fmt(r.seconds * 1e3, 2),
+         has_base ? util::Table::fmt(r.baseline_evals, 0) : "-",
+         has_base
+             ? util::Table::fmt(
+                   r.baseline_evals / static_cast<double>(r.rhs_evals), 1)
+             : "-",
+         r.baseline_seconds > 0.0
+             ? util::Table::fmt(r.baseline_seconds / r.seconds, 1)
+             : "-"});
+    auto j = util::Json::object();
+    j["name"] = r.name;
+    j["method"] = r.method;
+    j["final_truncation"] = r.final_truncation;
+    j["rhs_evals"] = r.rhs_evals;
+    j["seconds"] = r.seconds;
+    j["sojourn"] = r.sojourn;
+    if (has_base) {
+      j["baseline_rhs_evals"] = r.baseline_evals;
+      j["eval_reduction"] =
+          r.baseline_evals / static_cast<double>(r.rhs_evals);
+    }
+    if (r.baseline_seconds > 0.0) {
+      j["baseline_seconds"] = r.baseline_seconds;
+      j["speedup"] = r.baseline_seconds / r.seconds;
+    }
+    cases_json.push_back(std::move(j));
+  }
+  table.print(std::cout);
+
+  auto aggregate = util::Json::object();
+  aggregate["name"] = "aggregate";
+  aggregate["rhs_evals"] = total_evals;
+  aggregate["seconds"] = total_seconds;
+  const double agg_base_evals = baseline_value(baseline, "aggregate", "rhs_evals");
+  const double agg_base_secs = baseline_value(baseline, "aggregate", "seconds");
+  std::cout << "\naggregate: " << total_evals << " rhs evals, "
+            << util::Table::fmt(total_seconds * 1e3, 1) << " ms";
+  if (agg_base_evals > 0.0) {
+    const double redux = agg_base_evals / static_cast<double>(total_evals);
+    aggregate["baseline_rhs_evals"] = agg_base_evals;
+    aggregate["eval_reduction"] = redux;
+    std::cout << " (baseline " << util::Table::fmt(agg_base_evals, 0)
+              << " evals, " << util::Table::fmt(redux, 1) << "x fewer";
+    if (agg_base_secs > 0.0) {
+      aggregate["baseline_seconds"] = agg_base_secs;
+      aggregate["speedup"] = agg_base_secs / total_seconds;
+      std::cout << ", " << util::Table::fmt(agg_base_secs / total_seconds, 1)
+                << "x faster";
+    }
+    std::cout << ")";
+  }
+  std::cout << "\n\n";
+
+  auto doc = util::Json::object();
+  doc["schema"] = "lsm-ode-perf/1";
+  doc["mode"] = legacy ? "legacy" : "current";
+  doc["workload"] =
+      "pinned model x lambda grid; rhs_evals is deterministic, wall time "
+      "best-of-" +
+      std::to_string(kRepetitions);
+  doc["repetitions"] = static_cast<std::size_t>(kRepetitions);
+  doc["ode_cases"] = std::move(cases_json);
+  doc["aggregate"] = std::move(aggregate);
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -5,8 +5,9 @@
 // newly registered model (and its parameters) shows up here untouched.
 //
 //   ./model_cli <model> [--lambda=0.9] [--<param>=..] [--tails=16]
-//               [--csv] [--json]
+//               [--solver=auto|relax|stiff|anderson] [--csv] [--json]
 //   ./model_cli --list
+#include <chrono>
 #include <iostream>
 
 #include "core/registry.hpp"
@@ -31,7 +32,8 @@ int main(int argc, char** argv) {
   const lsm::util::Args args(argc, argv);
   if (args.flag("list") || args.positional().empty()) {
     std::cout << "usage: model_cli <model> [--lambda=0.9] [--<param>=value] "
-                 "[--tails=16] [--csv] [--json]\n";
+                 "[--tails=16] [--solver=auto|relax|stiff|anderson] [--csv] "
+                 "[--json]\n";
     print_model_list();
     return args.flag("list") ? 0 : 1;
   }
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
     lsm::core::ModelParams params;
     for (const auto& key : args.keys()) {
       if (key == "lambda" || key == "tails" || key == "csv" || key == "json" ||
-          key == "list") {
+          key == "list" || key == "solver") {
         continue;
       }
       if (!spec.accepts(key)) {
@@ -57,7 +59,14 @@ int main(int argc, char** argv) {
     }
 
     const auto model = lsm::core::make_model(name, lambda, params);
-    const auto fp = lsm::core::solve_fixed_point(*model);
+    lsm::core::FixedPointOptions fp_opts;
+    fp_opts.method =
+        lsm::ode::parse_fixed_point_method(args.get("solver", "auto"));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fp = lsm::core::solve_fixed_point(*model, fp_opts);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     const auto tails = static_cast<std::size_t>(args.get("tails", 16L));
     const std::size_t shown = std::min(tails, model->truncation());
 
@@ -79,6 +88,12 @@ int main(int argc, char** argv) {
       doc["params"] = std::move(params_json);
       doc["residual"] = fp.residual;
       doc["polished"] = fp.polished;
+      doc["solver"] = std::string(lsm::ode::to_string(fp.method));
+      doc["fellback"] = fp.fellback;
+      doc["iterations"] = static_cast<double>(fp.iterations);
+      doc["rhs_evals"] = static_cast<double>(fp.rhs_evals);
+      doc["final_truncation"] = static_cast<double>(fp.final_truncation);
+      doc["wall_seconds"] = wall_seconds;
       doc["mean_sojourn"] = model->mean_sojourn(fp.state);
       doc["mean_tasks"] = model->mean_tasks(fp.state);
       doc["busy_fraction"] = lsm::core::busy_fraction(fp.state);
@@ -99,7 +114,12 @@ int main(int argc, char** argv) {
     std::cout << "model            : " << model->name() << "\n"
               << "lambda           : " << lambda << "\n"
               << "fixed point      : residual " << fp.residual
-              << (fp.polished ? " (Newton-polished)" : " (relaxation)") << "\n"
+              << (fp.polished ? " (Newton-polished)" : "") << "\n"
+              << "solver           : " << lsm::ode::to_string(fp.method)
+              << (fp.fellback ? " (fell back to relaxation)" : "") << ", "
+              << fp.rhs_evals << " RHS evals, " << fp.iterations
+              << " iterations, " << wall_seconds * 1e3 << " ms, L="
+              << fp.final_truncation << "\n"
               << "E[time in system]: " << model->mean_sojourn(fp.state) << "\n"
               << "E[tasks/processor]: " << model->mean_tasks(fp.state) << "\n"
               << "busy fraction    : " << lsm::core::busy_fraction(fp.state)

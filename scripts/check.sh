@@ -3,9 +3,10 @@
 # concurrency-sensitive pieces (work-stealing thread pool + experiment
 # runner), and a report-only perf smoke against the committed baseline.
 #
-#   scripts/check.sh              # everything (~3 min)
-#   SKIP_TSAN=1 scripts/check.sh  # skip the sanitizer pass
-#   SKIP_PERF=1 scripts/check.sh  # skip the perf smoke
+#   scripts/check.sh               # everything (~4 min)
+#   SKIP_TSAN=1 scripts/check.sh   # skip the thread-sanitizer pass
+#   SKIP_UBSAN=1 scripts/check.sh  # skip the UB-sanitizer pass
+#   SKIP_PERF=1 scripts/check.sh   # skip the perf smokes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +27,21 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
     --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable'
 fi
 
+if [ "${SKIP_UBSAN:-0}" != "1" ]; then
+  echo "== ubsan: ODE solvers + core fixed-point engine under -fsanitize=undefined"
+  cmake -B build-ubsan -G Ninja -DLSM_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-ubsan -j "$jobs" \
+    --target test_ode test_implicit test_anderson test_hot_loop_alloc \
+    test_model_fixed_point
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  ./build-ubsan/tests/test_ode
+  ./build-ubsan/tests/test_implicit
+  ./build-ubsan/tests/test_anderson
+  ./build-ubsan/tests/test_hot_loop_alloc
+  ./build-ubsan/tests/test_model_fixed_point
+fi
+
 if [ "${SKIP_PERF:-0}" != "1" ]; then
   # Report-only: prints per-case and aggregate speedup vs the committed
   # baseline (bench/perf/BENCH_sim.baseline.json, recorded from the
@@ -36,6 +52,14 @@ if [ "${SKIP_PERF:-0}" != "1" ]; then
   cmake --build build -j "$jobs" --target perf_sim  # tier-1 build is Release
   ./build/bench/perf/perf_sim bench/perf/BENCH_sim.json \
     bench/perf/BENCH_sim.baseline.json
+
+  # Same report-only contract for the fixed-point engine: rhs-eval counts
+  # are deterministic, so a real regression shows as a shrinking
+  # "eval redux" column in the BENCH_ode.json diff even on noisy machines.
+  echo "== perf smoke: ODE rhs evals vs committed baseline (report-only)"
+  cmake --build build -j "$jobs" --target perf_ode
+  ./build/bench/perf/perf_ode bench/perf/BENCH_ode.json \
+    bench/perf/BENCH_ode.baseline.json
 fi
 
 echo "check: all green"

@@ -35,10 +35,26 @@ std::vector<ode::State> random_starts(const core::MeanFieldModel& model,
 ConvergenceReport check_convergence(const core::MeanFieldModel& model,
                                     const std::vector<ode::State>& starts,
                                     const ode::State& fixed_point,
-                                    double t_max, double tol) {
+                                    const MultiStartOptions& mopts) {
   LSM_EXPECT(!starts.empty(), "need at least one start");
   ConvergenceReport report;
   report.starts = starts.size();
+  const ode::CountingSystem counted(model);
+  if (mopts.drive == MultiStartOptions::Drive::Solver) {
+    ode::FixedPointSolveOptions sopts;
+    sopts.method = mopts.method;
+    sopts.stiff_bandwidth = model.stiff_bandwidth();
+    sopts.label = "convergence model=" + model.name();
+    for (const auto& start : starts) {
+      const auto solved = ode::solve_fixed_point(counted, start, sopts);
+      const double dist = ode::distance_l1(solved.state, fixed_point);
+      if (dist < mopts.tol) ++report.converged;
+      report.worst_final_distance =
+          std::max(report.worst_final_distance, dist);
+    }
+    report.rhs_evals = counted.evals();
+    return report;
+  }
   ode::AdaptiveOptions opts;
   opts.dt_max = 5.0;
   for (const auto& start : starts) {
@@ -46,14 +62,26 @@ ConvergenceReport check_convergence(const core::MeanFieldModel& model,
     double t = 0.0;
     double dist = ode::distance_l1(s, fixed_point);
     // Integrate in chunks; stop early once inside tolerance.
-    while (t < t_max && dist >= tol) {
-      t = ode::integrate_adaptive(model, s, t, std::min(t + 20.0, t_max), opts);
+    while (t < mopts.t_max && dist >= mopts.tol) {
+      t = ode::integrate_adaptive(counted, s, t,
+                                  std::min(t + 20.0, mopts.t_max), opts);
       dist = ode::distance_l1(s, fixed_point);
     }
-    if (dist < tol) ++report.converged;
+    if (dist < mopts.tol) ++report.converged;
     report.worst_final_distance = std::max(report.worst_final_distance, dist);
   }
+  report.rhs_evals = counted.evals();
   return report;
+}
+
+ConvergenceReport check_convergence(const core::MeanFieldModel& model,
+                                    const std::vector<ode::State>& starts,
+                                    const ode::State& fixed_point,
+                                    double t_max, double tol) {
+  MultiStartOptions mopts;
+  mopts.t_max = t_max;
+  mopts.tol = tol;
+  return check_convergence(model, starts, fixed_point, mopts);
 }
 
 }  // namespace lsm::analysis

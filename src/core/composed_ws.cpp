@@ -23,6 +23,7 @@ ComposedWS::ComposedWS(double lambda, ComposedPolicy policy,
                          : default_truncation(lambda) + policy.threshold +
                                policy.begin_steal + policy.steal_count),
       policy_(policy) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(policy.threshold >= 2, "threshold must be at least 2");
   LSM_EXPECT(policy.choices >= 1, "need at least one probe");
   LSM_EXPECT(policy.steal_count >= 1, "must steal at least one task");

@@ -49,6 +49,10 @@ class ComposedWS final : public MeanFieldModel {
     return policy_;
   }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return policy_.threshold + policy_.begin_steal + policy_.steal_count + 3;
+  }
+
  private:
   ComposedPolicy policy_;
 };

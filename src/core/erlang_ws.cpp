@@ -26,6 +26,7 @@ ErlangServiceWS::ErlangServiceWS(double lambda, std::size_t stages,
                                  std::size_t truncation)
     : MeanFieldModel(lambda, pick_truncation(lambda, stages, truncation)),
       stages_(stages) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(stages >= 1, "need at least one service stage");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
   LSM_EXPECT(trunc_ >= 3 * stages, "truncation must cover several tasks");

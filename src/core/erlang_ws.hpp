@@ -31,6 +31,11 @@ class ErlangServiceWS final : public MeanFieldModel {
 
   [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
 
+  /// The constructor demands room for at least three whole tasks.
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return 3 * stages_;
+  }
+
   /// Tasks per processor: sum over k of P(stages > kc).
   [[nodiscard]] double mean_tasks(const ode::State& s) const override;
 

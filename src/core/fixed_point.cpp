@@ -1,10 +1,10 @@
 #include "core/fixed_point.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
-#include "ode/implicit.hpp"
 #include "ode/newton.hpp"
-#include "ode/steady_state.hpp"
 
 namespace lsm::core {
 
@@ -28,45 +28,161 @@ class RootSystem final : public ode::OdeSystem {
   const MeanFieldModel& model_;
 };
 
+/// Restores the model's truncation on scope exit unless release()d; keeps
+/// the Auto mode exception-safe (set_truncation is const but sticky).
+class TruncationGuard {
+ public:
+  explicit TruncationGuard(const MeanFieldModel& model)
+      : model_(model), original_(model.truncation()) {}
+  TruncationGuard(const TruncationGuard&) = delete;
+  TruncationGuard& operator=(const TruncationGuard&) = delete;
+  ~TruncationGuard() {
+    if (armed_) model_.set_truncation(original_);
+  }
+  void release() noexcept { armed_ = false; }
+  [[nodiscard]] std::size_t original() const noexcept { return original_; }
+
+ private:
+  const MeanFieldModel& model_;
+  std::size_t original_;
+  bool armed_ = true;
+};
+
+std::string solve_label(const MeanFieldModel& model) {
+  return "model=" + model.name() + " lambda=" + std::to_string(model.lambda()) +
+         " L=" + std::to_string(model.truncation());
+}
+
+/// One iterative solve at the model's current truncation. Intermediate
+/// ladder rungs pass loose = true: they only exist to produce warm starts
+/// and tail-mass estimates, so relax_tol accuracy is plenty.
+ode::FixedPointSolveResult iterate(const MeanFieldModel& model, ode::State s0,
+                                   const FixedPointOptions& opts,
+                                   bool loose = false,
+                                   bool relax_fallback = true) {
+  ode::FixedPointSolveOptions sopts;
+  sopts.method = opts.method;
+  sopts.stiff_bandwidth = model.stiff_bandwidth();
+  sopts.tol = loose ? opts.relax_tol : std::min(opts.relax_tol, 1e-10);
+  sopts.label = solve_label(model);
+  sopts.anderson = opts.anderson;
+  sopts.relax_fallback = relax_fallback;
+  // With a Newton polish downstream a stalled-but-close Anderson run is
+  // worth accepting over a relaxation fallback (see solve.hpp).
+  if (opts.polish) sopts.anderson_accept_factor = 1e3;
+  sopts.relax.deriv_tol = opts.relax_tol;
+  sopts.relax.t_max = opts.t_max;
+  sopts.relax.check_interval = opts.check_interval;
+  sopts.relax.adaptive.rtol = 1e-9;   // keep the integrator's noise floor
+  sopts.relax.adaptive.atol = 1e-12;  // below deriv_tol so relaxation ends
+  return ode::solve_fixed_point(model, std::move(s0), sopts);
+}
+
+void accumulate(FixedPointResult& result,
+                ode::FixedPointSolveResult&& rung) {
+  result.state = std::move(rung.state);
+  result.residual = rung.residual;
+  result.method = rung.method;
+  result.rhs_evals += rung.rhs_evals;
+  result.iterations += rung.iterations;
+  result.relax_time += rung.relax_time;
+  result.fellback = result.fellback || rung.fellback;
+}
+
+void polish(const MeanFieldModel& model, FixedPointResult& result,
+            const FixedPointOptions& opts) {
+  if (!opts.polish || model.dimension() > opts.newton_max_dim) return;
+  const RootSystem root(model);
+  const ode::CountingSystem counted(root);
+  ode::NewtonOptions nopts;
+  nopts.tol = opts.polish_tol;
+  auto polished = ode::newton_fixed_point(counted, result.state, nopts);
+  result.rhs_evals += counted.evals();
+  if (polished.converged) {
+    result.state = std::move(polished.state);
+    result.residual = polished.residual_norm;
+    result.polished = true;
+  }
+}
+
 }  // namespace
 
 FixedPointResult solve_fixed_point(const MeanFieldModel& model,
                                    const FixedPointOptions& opts) {
+  // Auto mode only re-discretizes non-stiff, auto-sized models: the stiff
+  // path's cost is dominated by banded Jacobian refreshes, so re-solving
+  // every rung roughly doubles the evaluation count instead of saving it.
+  const bool adaptive =
+      opts.truncation == TruncationMode::Adaptive ||
+      (opts.truncation == TruncationMode::Auto &&
+       !model.truncation_explicit() && model.stiff_bandwidth() == 0);
+
   FixedPointResult result;
-  if (const std::size_t band = model.stiff_bandwidth(); band > 0) {
-    // Stiff path: pseudo-transient continuation with banded chord Newton.
-    ode::StiffRelaxOptions sopts;
-    sopts.implicit.kl = band;
-    sopts.implicit.ku = band;
-    sopts.deriv_tol = std::min(opts.relax_tol, 1e-10);
-    auto relaxed =
-        ode::stiff_relax_to_fixed_point(model, model.empty_state(), sopts);
-    result.residual = relaxed.deriv_norm;
-    result.state = std::move(relaxed.state);
-  } else {
-    ode::SteadyStateOptions sopts;
-    sopts.deriv_tol = opts.relax_tol;
-    sopts.t_max = opts.t_max;
-    sopts.check_interval = opts.check_interval;
-    sopts.adaptive.rtol = 1e-9;   // keep the integrator's noise floor well
-    sopts.adaptive.atol = 1e-12;  // below deriv_tol so relaxation terminates
-    auto relaxed =
-        ode::relax_to_fixed_point(model, model.empty_state(), sopts);
-    result.relax_time = relaxed.time;
-    result.residual = relaxed.deriv_norm;
-    result.state = std::move(relaxed.state);
+  if (!adaptive) {
+    accumulate(result, iterate(model, model.empty_state(), opts));
+    polish(model, result, opts);
+    result.final_truncation = model.truncation();
+    return result;
   }
 
-  if (opts.polish && model.dimension() <= opts.newton_max_dim) {
-    RootSystem root(model);
-    ode::NewtonOptions nopts;
-    nopts.tol = opts.polish_tol;
-    auto polished = ode::newton_fixed_point(root, result.state, nopts);
-    if (polished.converged) {
-      result.state = std::move(polished.state);
-      result.residual = polished.residual_norm;
-      result.polished = true;
+  TruncationGuard guard(model);
+  // The constructed truncation is the known-safe ceiling: the ladder never
+  // grows past it, so an Auto solve can only match or shrink the work.
+  const std::size_t cap = std::max(guard.original(), model.min_truncation());
+  std::size_t rung =
+      std::min(cap, std::max<std::size_t>(model.min_truncation(), 24));
+  model.set_truncation(rung);
+  ode::State start = model.empty_state();
+  bool cold = true;  // start is the empty state, not a grafted warm start
+  while (true) {
+    // Loose rung solve, suppressing the relaxation fallback: a grafted
+    // warm start occasionally misleads Anderson (the optimal profile at
+    // the previous truncation can be structurally far from this rung's),
+    // and a cold restart is orders of magnitude cheaper than relaxation.
+    auto rung_result =
+        iterate(model, std::move(start), opts, /*loose=*/true,
+                /*relax_fallback=*/cold);
+    if (rung_result.fellback && rung_result.residual > opts.relax_tol) {
+      result.rhs_evals += rung_result.rhs_evals;
+      result.iterations += rung_result.iterations;
+      rung_result = iterate(model, model.empty_state(), opts, /*loose=*/true);
     }
+    accumulate(result, std::move(rung_result));
+    const bool resolved =
+        model.tail_mass(result.state) <= opts.tail_tol || rung >= cap;
+    if (resolved) {
+      // Tighten at this rung: warm-started, this costs a handful of
+      // iterations on top of the loose solve. The tight solve can reveal
+      // tail mass the loose one had not yet built up, so re-check before
+      // accepting the rung as final.
+      accumulate(result, iterate(model, std::move(result.state), opts));
+      if (model.tail_mass(result.state) <= opts.tail_tol || rung >= cap) break;
+    }
+    const std::size_t next = std::min(cap, 2 * rung);
+    model.set_truncation(next);
+    start = model.resized_tail_state(result.state, rung);
+    cold = false;
+    rung = next;
+  }
+  polish(model, result, opts);
+  result.final_truncation = rung;
+
+  if (opts.truncation == TruncationMode::Adaptive) {
+    guard.release();  // caller asked for the compact discretization
+    return result;
+  }
+  // Auto: make the re-discretization invisible. The guard restores the
+  // constructed truncation; extend the state back to match. The grafted
+  // entries continue tails already below tail_tol, so observables move by
+  // less than the golden tolerances and the recomputed residual stays at
+  // the polished level.
+  if (rung != guard.original()) {
+    model.set_truncation(guard.original());
+    result.state = model.resized_tail_state(result.state, rung);
+    ode::State f(model.dimension());
+    model.deriv(0.0, result.state, f);
+    result.residual = ode::norm_linf(f);
+    result.rhs_evals += 1;
   }
   return result;
 }

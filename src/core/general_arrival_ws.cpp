@@ -24,11 +24,13 @@ GeneralArrivalWS GeneralArrivalWS::spawning(double ext, double internal,
              "total offered load must stay below capacity");
   const std::size_t L =
       truncation != 0 ? truncation : default_truncation(ext + internal) + threshold;
-  return GeneralArrivalWS(
+  GeneralArrivalWS model(
       [ext, internal](std::size_t load) {
         return ext + (load > 0 ? internal : 0.0);
       },
       ext, threshold, L);
+  model.trunc_explicit_ = truncation != 0;
+  return model;
 }
 
 GeneralArrivalWS GeneralArrivalWS::static_system(std::size_t threshold,

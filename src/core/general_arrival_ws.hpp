@@ -43,6 +43,10 @@ class GeneralArrivalWS final : public MeanFieldModel {
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
   [[nodiscard]] double arrival_rate(std::size_t load) const {
     return arrival_(load);
   }

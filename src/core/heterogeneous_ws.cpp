@@ -14,6 +14,7 @@ HeterogeneousWS::HeterogeneousWS(double lambda, double fast_fraction,
       mu_fast_(fast_rate),
       mu_slow_(slow_rate),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(fast_fraction > 0.0 && fast_fraction < 1.0,
              "fast fraction must lie strictly inside (0,1)");
   LSM_EXPECT(fast_rate > 0.0 && slow_rate > 0.0, "service rates > 0");

@@ -40,6 +40,12 @@ class HeterogeneousWS final : public MeanFieldModel {
   [[nodiscard]] double slow_rate() const noexcept { return mu_slow_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t tail_segments() const override { return 2; }
+
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   [[nodiscard]] double mean_tasks(const ode::State& s) const override;
 
   /// Per-class mean load conditioned on class membership.

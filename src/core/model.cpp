@@ -41,6 +41,50 @@ double MeanFieldModel::mean_sojourn(const ode::State& s) const {
   return mean_tasks(s) / lambda_;
 }
 
+void MeanFieldModel::set_truncation(std::size_t new_trunc) const {
+  LSM_EXPECT(new_trunc >= min_truncation(),
+             "set_truncation: below the model's minimum truncation");
+  trunc_ = new_trunc;
+}
+
+double MeanFieldModel::tail_mass(const ode::State& s) const {
+  const std::size_t segs = tail_segments();
+  const std::size_t len = trunc_ + 1;
+  LSM_ASSERT(s.size() == segs * len);
+  double mass = 0.0;
+  for (std::size_t seg = 0; seg < segs; ++seg) {
+    mass = std::max(mass, std::abs(s[seg * len + trunc_]));
+  }
+  return mass;
+}
+
+ode::State MeanFieldModel::resized_tail_state(const ode::State& s,
+                                              std::size_t from_trunc) const {
+  const std::size_t segs = tail_segments();
+  const std::size_t old_len = from_trunc + 1;
+  const std::size_t new_len = trunc_ + 1;
+  LSM_EXPECT(s.size() == segs * old_len,
+             "resized_tail_state: state does not match from_trunc");
+  ode::State out(segs * new_len, 0.0);
+  for (std::size_t seg = 0; seg < segs; ++seg) {
+    const std::size_t src = seg * old_len;
+    const std::size_t dst = seg * new_len;
+    const std::size_t common = std::min(old_len, new_len);
+    for (std::size_t i = 0; i < common; ++i) out[dst + i] = s[src + i];
+    if (new_len > old_len) {
+      const double a = s[src + old_len - 2];
+      const double b = s[src + old_len - 1];
+      const double ratio = (a > 0.0 && b > 0.0 && b < a) ? b / a : 0.0;
+      double v = b;
+      for (std::size_t i = old_len; i < new_len; ++i) {
+        v *= ratio;
+        out[dst + i] = v;
+      }
+    }
+  }
+  return out;
+}
+
 void MeanFieldModel::project_segment(ode::State& s, std::size_t begin,
                                      std::size_t end, double head) {
   if (begin >= end) return;

@@ -28,6 +28,46 @@ class MeanFieldModel : public ode::OdeSystem {
 
   [[nodiscard]] std::size_t dimension() const override { return trunc_ + 1; }
 
+  /// Number of packed tail vectors of length truncation() + 1 making up
+  /// the state: 1 for the plain models, 2 for HeterogeneousWS and
+  /// TransferTimeWS, K for MultiClassWS, c + 1 for StagedTransferWS.
+  /// Models with a multi-segment layout MUST override this alongside
+  /// dimension() so the generic truncation machinery (tail_mass,
+  /// resized_tail_state) can find each segment's tail.
+  [[nodiscard]] virtual std::size_t tail_segments() const { return 1; }
+
+  /// Smallest truncation the derivative supports; mirrors the
+  /// constructor's validity asserts (e.g. threshold models need
+  /// L > T + 2). set_truncation rejects anything smaller.
+  [[nodiscard]] virtual std::size_t min_truncation() const { return 4; }
+
+  /// True when the constructor received an explicit truncation request;
+  /// false when the model auto-sized L from lambda's tail decay. The
+  /// adaptive fixed-point solver only re-discretizes auto-sized models.
+  [[nodiscard]] bool truncation_explicit() const noexcept {
+    return trunc_explicit_;
+  }
+
+  /// Re-points the truncation used by deriv/project/dimension. The
+  /// truncation is a solver discretization knob, not part of the model's
+  /// identity, so this is const (trunc_ is mutable). States sized for the
+  /// previous truncation become invalid; convert them with
+  /// resized_tail_state. Throws when new_trunc < min_truncation().
+  void set_truncation(std::size_t new_trunc) const;
+
+  /// Largest last-tracked tail entry across segments: the mass the
+  /// current truncation is about to neglect. Below ~1e-13 the truncation
+  /// no longer affects fixed-point observables at double precision.
+  [[nodiscard]] double tail_mass(const ode::State& s) const;
+
+  /// Re-packs a state laid out for truncation `from_trunc` into the
+  /// CURRENT truncation, segment by segment. Shrinking drops the tail;
+  /// growing continues each tail geometrically from its last two tracked
+  /// values (the mean-field tails decay geometrically, Sections 2.2-2.5),
+  /// which makes grown states excellent warm starts.
+  [[nodiscard]] ode::State resized_tail_state(const ode::State& s,
+                                              std::size_t from_trunc) const;
+
   /// Empty system: s = (1, 0, 0, ...). The paper's simulations start empty.
   [[nodiscard]] virtual ode::State empty_state() const;
 
@@ -69,7 +109,11 @@ class MeanFieldModel : public ode::OdeSystem {
                               std::size_t end, double head);
 
   double lambda_;
-  std::size_t trunc_;
+  /// Mutable because set_truncation is const: see its comment.
+  mutable std::size_t trunc_;
+  /// Derived constructors set this to false when they auto-sized trunc_
+  /// (caller passed truncation = 0).
+  bool trunc_explicit_ = true;
 };
 
 /// Truncation index adequate for steal-on-empty style models: the fixed

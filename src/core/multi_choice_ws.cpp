@@ -21,6 +21,7 @@ MultiChoiceWS::MultiChoiceWS(double lambda, std::size_t choices,
                                  : default_truncation(lambda) + threshold),
       choices_(choices),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(choices >= 1, "need at least one victim choice");
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");

@@ -27,6 +27,10 @@ class MultiChoiceWS final : public MeanFieldModel {
   [[nodiscard]] std::size_t choices() const noexcept { return choices_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   /// Optimistic tail-ratio bound from Section 3.3: l / (1 + d(l - pi_2)).
   [[nodiscard]] double tail_ratio_bound(const ode::State& pi) const;
 

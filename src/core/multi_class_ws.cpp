@@ -14,6 +14,7 @@ MultiClassWS::MultiClassWS(double lambda,
                                  : default_truncation(lambda) + threshold),
       classes_(std::move(classes)),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(!classes_.empty(), "need at least one processor class");
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   double total_fraction = 0.0;

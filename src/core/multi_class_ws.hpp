@@ -46,6 +46,14 @@ class MultiClassWS final : public MeanFieldModel {
   }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t tail_segments() const override {
+    return classes_.size();
+  }
+
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   [[nodiscard]] double mean_tasks(const ode::State& s) const override;
 
   /// Mean load conditioned on membership in class c.

@@ -13,6 +13,7 @@ MultiStealWS::MultiStealWS(double lambda, std::size_t steal_count,
                                  : default_truncation(lambda) + threshold),
       k_(steal_count),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(steal_count >= 1, "must steal at least one task");
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   LSM_EXPECT(2 * steal_count <= threshold,

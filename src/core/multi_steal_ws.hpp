@@ -28,6 +28,10 @@ class MultiStealWS final : public MeanFieldModel {
   [[nodiscard]] std::size_t steal_count() const noexcept { return k_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + k_ + 3;
+  }
+
  private:
   std::size_t k_;
   std::size_t threshold_;

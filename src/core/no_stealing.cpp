@@ -20,6 +20,7 @@ std::size_t pick_truncation(double lambda, std::size_t requested) {
 
 NoStealing::NoStealing(double lambda, std::size_t truncation)
     : MeanFieldModel(lambda, pick_truncation(lambda, truncation)) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(lambda < 1.0, "no-stealing model is unstable for lambda >= 1");
 }
 

@@ -12,6 +12,7 @@ PreemptiveWS::PreemptiveWS(double lambda, std::size_t begin_steal,
                                        threshold),
       begin_(begin_steal),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
   LSM_EXPECT(trunc_ > begin_ + threshold_ + 2,

@@ -30,6 +30,10 @@ class PreemptiveWS final : public MeanFieldModel {
   [[nodiscard]] std::size_t begin_steal() const noexcept { return begin_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return begin_ + threshold_ + 3;
+  }
+
   /// Tail ratio predicted by Section 2.4, evaluated on a fixed point:
   /// l / (1 + l - pi_{B+2}).
   [[nodiscard]] double predicted_tail_ratio(const ode::State& pi) const;

@@ -10,6 +10,7 @@ RebalanceWS::RebalanceWS(double lambda, RateFn rate, std::size_t truncation)
     : MeanFieldModel(
           lambda, truncation != 0 ? truncation : default_truncation(lambda)),
       rate_(std::move(rate)) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(static_cast<bool>(rate_), "rate function must be callable");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
 }

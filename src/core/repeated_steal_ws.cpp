@@ -11,6 +11,7 @@ RepeatedStealWS::RepeatedStealWS(double lambda, double retry_rate,
                                  : default_truncation(lambda) + threshold),
       retry_rate_(retry_rate),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(retry_rate >= 0.0, "retry rate must be non-negative");
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");

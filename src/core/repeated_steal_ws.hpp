@@ -29,6 +29,10 @@ class RepeatedStealWS final : public MeanFieldModel {
   [[nodiscard]] double retry_rate() const noexcept { return retry_rate_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   /// Section 2.5 tail ratio evaluated on a fixed point:
   /// l / (1 + r(1 - l) + l - pi_2).
   [[nodiscard]] double predicted_tail_ratio(const ode::State& pi) const;

@@ -15,6 +15,7 @@ StagedTransferWS::StagedTransferWS(double lambda, double transfer_rate,
       rate_(transfer_rate),
       stages_(stages),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(transfer_rate > 0.0, "transfer rate must be positive");
   LSM_EXPECT(stages >= 1, "need at least one transfer stage");
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");

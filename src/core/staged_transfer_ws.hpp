@@ -39,6 +39,14 @@ class StagedTransferWS final : public MeanFieldModel {
   [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t tail_segments() const override {
+    return stages_ + 1;
+  }
+
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   /// E[N]: queued tasks in all classes plus one in-transit task per
   /// waiting processor.
   [[nodiscard]] double mean_tasks(const ode::State& s) const override;

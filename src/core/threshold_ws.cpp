@@ -12,6 +12,7 @@ ThresholdWS::ThresholdWS(double lambda, std::size_t threshold,
                      truncation != 0 ? truncation
                                      : default_truncation(lambda) + threshold),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
   LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");

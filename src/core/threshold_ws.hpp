@@ -29,6 +29,10 @@ class ThresholdWS : public MeanFieldModel {
 
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   /// pi_T from the quadratic ((1+l) - sqrt((1+l)^2 - 4 l^T)) / 2.
   [[nodiscard]] double analytic_pi_threshold() const;
   /// pi_2 = l (l - pi_T) / (1 - pi_T).

@@ -15,6 +15,7 @@ TransferTimeWS::TransferTimeWS(double lambda, double transfer_rate,
                          : 5 * default_truncation(lambda) / 2 + threshold),
       rate_(transfer_rate),
       threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(transfer_rate > 0.0, "transfer rate must be positive");
   LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");

@@ -42,6 +42,12 @@ class TransferTimeWS final : public MeanFieldModel {
   [[nodiscard]] double transfer_rate() const noexcept { return rate_; }
   [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
 
+  [[nodiscard]] std::size_t tail_segments() const override { return 2; }
+
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   /// E[N] = sum_{i>=1} s_i + sum_{i>=0} w_i (counts tasks in transit).
   [[nodiscard]] double mean_tasks(const ode::State& s) const override;
 

@@ -22,6 +22,7 @@ WorkSharingWS::WorkSharingWS(double lambda, std::size_t share_threshold,
                              std::size_t truncation)
     : MeanFieldModel(lambda, pick_truncation(lambda, truncation)),
       threshold_(share_threshold) {
+  trunc_explicit_ = truncation != 0;
   LSM_EXPECT(share_threshold >= 1, "sharing threshold must be at least 1");
   LSM_EXPECT(lambda < 1.0, "model is unstable for lambda >= 1");
   LSM_EXPECT(trunc_ > share_threshold + 2,

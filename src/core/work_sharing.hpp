@@ -34,6 +34,10 @@ class WorkSharingWS final : public MeanFieldModel {
     return threshold_;
   }
 
+  [[nodiscard]] std::size_t min_truncation() const override {
+    return threshold_ + 3;
+  }
+
   /// Control messages (forwards) per processor per unit time at state s:
   /// lambda * s_S.
   [[nodiscard]] double message_rate(const ode::State& s) const;

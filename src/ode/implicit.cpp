@@ -139,34 +139,44 @@ bool ImplicitEulerBanded::step(const OdeSystem& sys, double t, State& s,
 StiffRelaxResult stiff_relax_to_fixed_point(const OdeSystem& sys, State s0,
                                             const StiffRelaxOptions& opts) {
   LSM_EXPECT(s0.size() == sys.dimension(), "state dimension mismatch");
+  const CountingSystem counted(sys);
   ImplicitEulerBanded stepper(opts.implicit);
   State f(s0.size());
-  sys.project(s0);
+  counted.project(s0);
   double h = opts.h0;
   double t = 0.0;
   StiffRelaxResult out;
   out.state = std::move(s0);
+  const auto context = [&opts] {
+    return opts.label.empty() ? std::string() : " [" + opts.label + "]";
+  };
 
   for (std::size_t step = 0; step < opts.max_steps; ++step) {
-    sys.deriv(t, out.state, f);
+    counted.deriv(t, out.state, f);
     out.deriv_norm = norm_linf(f);
     if (out.deriv_norm < opts.deriv_tol) {
       out.steps = step;
+      out.rhs_evals = counted.evals();
       return out;
     }
-    if (stepper.step(sys, t, out.state, h)) {
+    if (stepper.step(counted, t, out.state, h)) {
       t += h;
       h = std::min(h * 2.0, opts.h_max);  // pseudo-transient continuation
     } else {
       h *= 0.25;
       stepper.invalidate();
       if (h < 1e-8) {
-        throw util::Error("stiff_relax_to_fixed_point: step underflow");
+        throw util::Error("stiff_relax_to_fixed_point: step underflow" +
+                          context() +
+                          ": deriv_norm=" + std::to_string(out.deriv_norm) +
+                          " rhs_evals=" + std::to_string(counted.evals()));
       }
     }
   }
-  throw util::Error("stiff_relax_to_fixed_point: exceeded max_steps (norm=" +
-                    std::to_string(out.deriv_norm) + ")");
+  throw util::Error("stiff_relax_to_fixed_point: exceeded max_steps" +
+                    context() +
+                    ": deriv_norm=" + std::to_string(out.deriv_norm) +
+                    " rhs_evals=" + std::to_string(counted.evals()));
 }
 
 }  // namespace lsm::ode

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "ode/banded.hpp"
 #include "ode/system.hpp"
@@ -72,12 +73,14 @@ struct StiffRelaxOptions {
   double h0 = 0.1;
   double h_max = 1e7;
   std::size_t max_steps = 4000;
+  std::string label;  ///< caller context prepended to failure errors
 };
 
 struct StiffRelaxResult {
   State state;
   double deriv_norm = 0.0;
   std::size_t steps = 0;
+  std::size_t rhs_evals = 0;  ///< derivative evaluations consumed
 };
 
 /// Pseudo-transient continuation to the fixed point of `sys`. Throws

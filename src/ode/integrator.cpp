@@ -23,11 +23,11 @@ double integrate_fixed(const OdeSystem& sys, Stepper& stepper, State& s,
   return t;
 }
 
-double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
-                          const AdaptiveOptions& opts, const Observer& observe) {
+double AdaptiveIntegrator::integrate(const OdeSystem& sys, State& s,
+                                     double t0, double t1,
+                                     const AdaptiveOptions& opts,
+                                     const Observer& observe) {
   LSM_EXPECT(t1 >= t0, "integration interval is inverted");
-  CashKarp45 ck;
-  State proposal;
   double t = t0;
   double dt = std::min(opts.dt_init, std::max(t1 - t0, opts.dt_min));
   constexpr double kSafety = 0.9;
@@ -39,10 +39,9 @@ double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
       throw util::Error("integrate_adaptive: exceeded max_steps");
     }
     const double h = std::min(dt, t1 - t);
-    const auto res = ck.attempt(sys, t, s, h, opts.atol, opts.rtol, proposal);
+    const auto res = ck_.attempt(sys, t, s, h, opts.atol, opts.rtol, proposal_);
     if (res.error_norm <= 1.0) {
-      s = std::move(proposal);
-      proposal.clear();
+      s.swap(proposal_);  // buffers ping-pong: no allocation per step
       sys.project(s);
       t += h;
       const double grow =
@@ -60,6 +59,13 @@ double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
     }
   }
   return t;
+}
+
+double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
+                          const AdaptiveOptions& opts,
+                          const Observer& observe) {
+  AdaptiveIntegrator driver;
+  return driver.integrate(sys, s, t0, t1, opts, observe);
 }
 
 }  // namespace lsm::ode

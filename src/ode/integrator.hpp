@@ -30,8 +30,29 @@ struct AdaptiveOptions {
   std::size_t max_steps = 50'000'000;
 };
 
+/// Adaptive Cash-Karp driver with reusable scratch: the proposal buffer and
+/// the stepper's stage vectors live in the object, so repeated integrate()
+/// calls (and every accepted step within one) perform zero heap
+/// allocations once warm. Step acceptance swaps the state and proposal
+/// buffers instead of moving, which is what makes the hot loop
+/// allocation-free (tests/hot_loop_alloc_test.cpp enforces this).
+class AdaptiveIntegrator {
+ public:
+  /// Integrates s from t0 to t1. Throws util::Error if the step size
+  /// underflows opts.dt_min. Returns the final time reached.
+  double integrate(const OdeSystem& sys, State& s, double t0, double t1,
+                   const AdaptiveOptions& opts = {},
+                   const Observer& observe = nullptr);
+
+ private:
+  CashKarp45 ck_;
+  State proposal_;
+};
+
 /// Adaptive Cash-Karp integration from t0 to t1. Throws util::Error if the
-/// step size underflows dt_min. Returns the final time reached.
+/// step size underflows dt_min. Returns the final time reached. One-shot
+/// convenience over AdaptiveIntegrator; callers integrating repeatedly
+/// should hold an AdaptiveIntegrator to reuse its scratch buffers.
 double integrate_adaptive(const OdeSystem& sys, State& s, double t0, double t1,
                           const AdaptiveOptions& opts = {},
                           const Observer& observe = nullptr);

@@ -1,0 +1,129 @@
+#include "ode/solve.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace lsm::ode {
+
+namespace {
+
+FixedPointSolveResult run_relax(const OdeSystem& sys, State s0,
+                                const FixedPointSolveOptions& opts) {
+  SteadyStateOptions ropts = opts.relax;
+  // The explicit safety net may run to a looser target than the main tol
+  // (callers polish afterwards); take whichever of the two is looser.
+  ropts.deriv_tol = std::max(opts.tol, opts.relax.deriv_tol);
+  if (ropts.label.empty()) ropts.label = opts.label;
+  SteadyStateResult relaxed = relax_to_fixed_point(sys, std::move(s0), ropts);
+  FixedPointSolveResult out;
+  out.state = std::move(relaxed.state);
+  out.residual = relaxed.deriv_norm;
+  out.method = FixedPointMethod::Relax;
+  out.rhs_evals = relaxed.rhs_evals;
+  out.relax_time = relaxed.time;
+  return out;
+}
+
+FixedPointSolveResult run_stiff(const OdeSystem& sys, State s0,
+                                const FixedPointSolveOptions& opts) {
+  StiffRelaxOptions sopts = opts.stiff;
+  sopts.deriv_tol = opts.tol;
+  if (sopts.label.empty()) sopts.label = opts.label;
+  if (opts.stiff_bandwidth > 0) {
+    sopts.implicit.kl = opts.stiff_bandwidth;
+    sopts.implicit.ku = opts.stiff_bandwidth;
+  }
+  StiffRelaxResult stiff = stiff_relax_to_fixed_point(sys, std::move(s0), sopts);
+  FixedPointSolveResult out;
+  out.state = std::move(stiff.state);
+  out.residual = stiff.deriv_norm;
+  out.method = FixedPointMethod::Stiff;
+  out.rhs_evals = stiff.rhs_evals;
+  out.iterations = stiff.steps;
+  return out;
+}
+
+FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
+                                   const FixedPointSolveOptions& opts) {
+  AndersonOptions aopts = opts.anderson;
+  aopts.tol = opts.tol;
+  // Keep the caller's start around: if acceleration fails we relax from
+  // THERE, not from Anderson's best iterate. Truncated systems can be
+  // bistable, and the physically meaningful equilibrium is the one that
+  // forward time integration reaches from the caller's start -- a diverged
+  // Anderson iterate may already sit in the wrong basin.
+  State start;
+  if (opts.relax_fallback) start = s0;
+  AndersonResult aa = anderson_fixed_point(sys, std::move(s0), aopts);
+  if (aa.converged ||
+      aa.residual_norm <= opts.anderson_accept_factor * aopts.tol) {
+    FixedPointSolveResult out;
+    out.state = std::move(aa.state);
+    out.residual = aa.residual_norm;
+    out.method = FixedPointMethod::Anderson;
+    out.rhs_evals = aa.rhs_evals;
+    out.iterations = aa.iterations;
+    return out;
+  }
+  if (!opts.relax_fallback) {
+    // Caller will orchestrate its own retry: hand back the best iterate.
+    FixedPointSolveResult out;
+    out.state = std::move(aa.state);
+    out.residual = aa.residual_norm;
+    out.method = FixedPointMethod::Anderson;
+    out.rhs_evals = aa.rhs_evals;
+    out.iterations = aa.iterations;
+    out.fellback = true;
+    return out;
+  }
+  // Acceleration stalled or diverged: relax from the original start so the
+  // fallback reproduces the plain-relaxation result exactly.
+  FixedPointSolveResult out = run_relax(sys, std::move(start), opts);
+  out.rhs_evals += aa.rhs_evals;
+  out.iterations = aa.iterations;
+  out.fellback = true;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FixedPointMethod method) noexcept {
+  switch (method) {
+    case FixedPointMethod::Auto: return "auto";
+    case FixedPointMethod::Relax: return "relax";
+    case FixedPointMethod::Stiff: return "stiff";
+    case FixedPointMethod::Anderson: return "anderson";
+  }
+  return "?";
+}
+
+FixedPointMethod parse_fixed_point_method(const std::string& name) {
+  if (name == "auto") return FixedPointMethod::Auto;
+  if (name == "relax") return FixedPointMethod::Relax;
+  if (name == "stiff") return FixedPointMethod::Stiff;
+  if (name == "anderson") return FixedPointMethod::Anderson;
+  throw util::Error("unknown fixed-point method '" + name +
+                    "' (expected auto|relax|stiff|anderson)");
+}
+
+FixedPointSolveResult solve_fixed_point(const OdeSystem& sys, State s0,
+                                        const FixedPointSolveOptions& opts) {
+  LSM_EXPECT(s0.size() == sys.dimension(),
+             "solve_fixed_point: state dimension mismatch");
+  switch (opts.method) {
+    case FixedPointMethod::Relax:
+      return run_relax(sys, std::move(s0), opts);
+    case FixedPointMethod::Stiff:
+      return run_stiff(sys, std::move(s0), opts);
+    case FixedPointMethod::Anderson:
+      return run_anderson(sys, std::move(s0), opts);
+    case FixedPointMethod::Auto:
+      break;
+  }
+  return opts.stiff_bandwidth > 0 ? run_stiff(sys, std::move(s0), opts)
+                                  : run_anderson(sys, std::move(s0), opts);
+}
+
+}  // namespace lsm::ode

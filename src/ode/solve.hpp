@@ -1,0 +1,84 @@
+// Single entry point for locating fixed points of ds/dt = f(s): dispatches
+// between Anderson acceleration (anderson.hpp, the fast default), explicit
+// time relaxation (steady_state.hpp, the robust safety net) and implicit
+// pseudo-transient continuation (implicit.hpp, for stiff systems), and
+// reports the method used plus the RHS-evaluation budget it consumed.
+//
+// Dispatch rules (FixedPointMethod::Auto):
+//   * stiff_bandwidth > 0  -> Stiff (banded pseudo-transient continuation;
+//     explicit methods would need O(1/bandwidth) steps);
+//   * otherwise            -> Anderson, falling back to Relax from the
+//     caller's original start when acceleration fails to converge (NOT from
+//     Anderson's best iterate: truncated systems can be bistable, and the
+//     meaningful equilibrium is the one relaxation reaches from the start).
+#pragma once
+
+#include <string>
+
+#include "ode/anderson.hpp"
+#include "ode/implicit.hpp"
+#include "ode/steady_state.hpp"
+#include "ode/system.hpp"
+
+namespace lsm::ode {
+
+enum class FixedPointMethod {
+  Auto,      ///< stiff when a bandwidth hint is given, else Anderson+fallback
+  Relax,     ///< explicit time relaxation only (the pre-engine behaviour)
+  Stiff,     ///< banded pseudo-transient continuation
+  Anderson,  ///< Anderson acceleration with relaxation fallback
+};
+
+/// Short lowercase name ("auto" | "relax" | "stiff" | "anderson").
+[[nodiscard]] const char* to_string(FixedPointMethod method) noexcept;
+
+/// Inverse of to_string; throws util::Error on an unknown name.
+[[nodiscard]] FixedPointMethod parse_fixed_point_method(
+    const std::string& name);
+
+struct FixedPointSolveOptions {
+  FixedPointMethod method = FixedPointMethod::Auto;
+  /// Jacobian half-bandwidth hint; > 0 routes Auto to the stiff path and
+  /// sizes its banded chord Jacobian.
+  std::size_t stiff_bandwidth = 0;
+  /// ||f||_inf target for the Anderson and stiff paths. The relaxation
+  /// path (requested or fallback) runs to max(tol, relax.deriv_tol) so a
+  /// caller who polishes afterwards can keep the slow safety net cheap.
+  double tol = 1e-10;
+  /// Caller context (model, lambda, truncation) carried into solver
+  /// diagnostics and non-convergence errors.
+  std::string label;
+  AndersonOptions anderson{};
+  /// When Anderson stalls without converging, accept its best iterate
+  /// anyway (skipping the relaxation fallback) if the residual is within
+  /// this factor of tol. 1.0 = strict. Callers that polish afterwards set
+  /// this generously: Newton finishes a near-miss in a couple of
+  /// iterations, where the fallback relaxation would spend thousands of
+  /// evaluations re-deriving it.
+  double anderson_accept_factor = 1.0;
+  /// When false, a failed (and not accepted) Anderson run returns its
+  /// best iterate with fellback = true INSTEAD of finishing with the slow
+  /// relaxation. For orchestrators that would rather retry from another
+  /// start: check result.residual against tol before trusting the state.
+  bool relax_fallback = true;
+  SteadyStateOptions relax{};
+  StiffRelaxOptions stiff{};
+};
+
+struct FixedPointSolveResult {
+  State state;
+  double residual = 0.0;  ///< final ||f||_inf
+  FixedPointMethod method = FixedPointMethod::Relax;  ///< path that produced state
+  std::size_t rhs_evals = 0;   ///< derivative evaluations, all phases
+  std::size_t iterations = 0;  ///< AA iterations / PTC steps (0 for relax)
+  double relax_time = 0.0;     ///< virtual time, when relaxation ran
+  bool fellback = false;  ///< Anderson failed; relaxation re-ran from s0
+};
+
+/// Finds s with ||f(s)||_inf < opts.tol starting from s0. Throws
+/// util::Error only when every applicable path fails (relaxation exhausts
+/// its horizon or the stiff stepper underflows).
+[[nodiscard]] FixedPointSolveResult solve_fixed_point(
+    const OdeSystem& sys, State s0, const FixedPointSolveOptions& opts = {});
+
+}  // namespace lsm::ode

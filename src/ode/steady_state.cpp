@@ -9,28 +9,35 @@ namespace lsm::ode {
 SteadyStateResult relax_to_fixed_point(const OdeSystem& sys, State s0,
                                        const SteadyStateOptions& opts) {
   LSM_EXPECT(s0.size() == sys.dimension(), "initial state has wrong dimension");
+  const CountingSystem counted(sys);
   State ds(s0.size());
+  AdaptiveIntegrator driver;
   double t = 0.0;
   double next_check = opts.check_interval;
   double norm = 0.0;
   AdaptiveOptions aopts = opts.adaptive;
   aopts.dt_max = std::max(aopts.dt_max, opts.check_interval);
 
-  sys.project(s0);
-  sys.deriv(0.0, s0, ds);
+  counted.project(s0);
+  counted.deriv(0.0, s0, ds);
   norm = norm_linf(ds);
   while (norm >= opts.deriv_tol) {
     if (t >= opts.t_max) {
-      throw util::Error("relax_to_fixed_point: no convergence by t_max (norm=" +
-                        std::to_string(norm) + ")");
+      throw util::Error(
+          "relax_to_fixed_point: no convergence by t_max" +
+          (opts.label.empty() ? std::string() : " [" + opts.label + "]") +
+          ": t_max=" + std::to_string(opts.t_max) +
+          " deriv_norm=" + std::to_string(norm) +
+          " deriv_tol=" + std::to_string(opts.deriv_tol) +
+          " rhs_evals=" + std::to_string(counted.evals()));
     }
     const double target = std::min(next_check, opts.t_max);
-    t = integrate_adaptive(sys, s0, t, target, aopts);
+    t = driver.integrate(counted, s0, t, target, aopts);
     next_check = t + opts.check_interval;
-    sys.deriv(t, s0, ds);
+    counted.deriv(t, s0, ds);
     norm = norm_linf(ds);
   }
-  return SteadyStateResult{std::move(s0), t, norm};
+  return SteadyStateResult{std::move(s0), t, norm, counted.evals()};
 }
 
 }  // namespace lsm::ode

@@ -1,8 +1,12 @@
 // Steady-state (fixed point) location by relaxation: integrate the ODE
 // until ||f(s)||_inf falls below tolerance. Robust for the mean-field
 // systems in this library because their trajectories converge to the fixed
-// point from reasonable starting states (paper, Section 4).
+// point from reasonable starting states (paper, Section 4). Slow — it pays
+// O(10^5) RHS evaluations at high load — so solve.hpp's dispatcher only
+// uses it as the safety net behind Anderson acceleration.
 #pragma once
+
+#include <string>
 
 #include "ode/integrator.hpp"
 #include "ode/system.hpp"
@@ -14,16 +18,23 @@ struct SteadyStateOptions {
   double t_max = 1e6;         ///< give up (throw) beyond this horizon
   double check_interval = 1.0;  ///< how often to test the derivative norm
   AdaptiveOptions adaptive{};
+  /// Caller context (e.g. "model=threshold-ws(T=4) lambda=0.95 L=78")
+  /// prepended to the non-convergence error so sweep failures are
+  /// triageable without a debugger.
+  std::string label;
 };
 
 struct SteadyStateResult {
   State state;
   double time = 0.0;        ///< integration time consumed
   double deriv_norm = 0.0;  ///< final ||f(s)||_inf
+  std::size_t rhs_evals = 0;  ///< derivative evaluations consumed
 };
 
 /// Relaxes `s0` to a fixed point of `sys`. Throws util::Error when t_max is
-/// exhausted before the derivative norm reaches tolerance.
+/// exhausted before the derivative norm reaches tolerance; the error
+/// carries opts.label, the final derivative norm, the horizon and the
+/// evaluation count.
 SteadyStateResult relax_to_fixed_point(const OdeSystem& sys, State s0,
                                        const SteadyStateOptions& opts = {});
 

@@ -23,4 +23,29 @@ class OdeSystem {
   virtual void project(State& s) const { (void)s; }
 };
 
+/// Transparent adapter counting right-hand-side evaluations. The fixed
+/// point solvers wrap their system in one of these so iteration cost is
+/// observable (perf_ode tracks aggregate RHS evaluations as its primary
+/// metric, and non-convergence errors report evaluations consumed).
+class CountingSystem final : public OdeSystem {
+ public:
+  explicit CountingSystem(const OdeSystem& inner) : inner_(inner) {}
+
+  void deriv(double t, const State& s, State& ds) const override {
+    ++count_;
+    inner_.deriv(t, s, ds);
+  }
+  [[nodiscard]] std::size_t dimension() const override {
+    return inner_.dimension();
+  }
+  void project(State& s) const override { inner_.project(s); }
+
+  [[nodiscard]] std::size_t evals() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  const OdeSystem& inner_;
+  mutable std::size_t count_ = 0;
+};
+
 }  // namespace lsm::ode

@@ -1,0 +1,99 @@
+// Counting-allocator enforcement of the allocation-free hot loops: once an
+// AdaptiveIntegrator (or a fixed-step Stepper) is warm, further integration
+// performs zero heap allocations, and an Anderson run's allocation count is
+// a function of the problem size only, never of the iteration count.
+//
+// The counter hooks the global operator new/delete for this test binary.
+// Only allocation DELTAS measured around the hot region are asserted, so
+// gtest's own bookkeeping outside those windows cannot interfere.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/threshold_ws.hpp"
+#include "ode/anderson.hpp"
+#include "ode/integrator.hpp"
+#include "ode/steppers.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace lsm;
+
+std::size_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(HotLoopAlloc, AdaptiveIntegratorIsAllocationFreeOnceWarm) {
+  core::SimpleWS model(0.9, 96);
+  ode::State s = model.empty_state();
+  ode::AdaptiveIntegrator integrator;
+  // First call sizes the proposal buffer and the Cash-Karp stage vectors.
+  double t = integrator.integrate(model, s, 0.0, 5.0);
+  const std::size_t warm = allocations();
+  t = integrator.integrate(model, s, t, 50.0);
+  EXPECT_EQ(allocations(), warm)
+      << "steady-state adaptive integration must not touch the heap";
+  EXPECT_DOUBLE_EQ(t, 50.0);
+}
+
+TEST(HotLoopAlloc, FixedStepDriverIsAllocationFreeOnceWarm) {
+  core::SimpleWS model(0.9, 96);
+  ode::State s = model.empty_state();
+  ode::RungeKutta4 rk4;
+  ode::integrate_fixed(model, rk4, s, 0.0, 1.0, 0.01);  // warms the stages
+  const std::size_t warm = allocations();
+  ode::integrate_fixed(model, rk4, s, 1.0, 10.0, 0.01);
+  EXPECT_EQ(allocations(), warm)
+      << "fixed-step integration must reuse the stepper's stage vectors";
+}
+
+TEST(HotLoopAlloc, AndersonAllocationsIndependentOfIterationCount) {
+  // The whole AA workspace (iterates, m-deep difference history, QR
+  // factors) is sized on entry; iterating longer must not allocate more.
+  core::SimpleWS model(0.9, 96);
+  const ode::State s0 = model.empty_state();
+
+  ode::AndersonOptions opts;
+  opts.depth = 10;
+
+  opts.max_iter = 5;
+  std::size_t before = allocations();
+  auto short_run = ode::anderson_fixed_point(model, s0, opts);
+  const std::size_t short_allocs = allocations() - before;
+
+  opts.max_iter = 500;
+  before = allocations();
+  auto long_run = ode::anderson_fixed_point(model, s0, opts);
+  const std::size_t long_allocs = allocations() - before;
+
+  EXPECT_FALSE(short_run.converged);
+  EXPECT_TRUE(long_run.converged);
+  EXPECT_GT(long_run.iterations, 10 * short_run.iterations);
+  EXPECT_EQ(long_allocs, short_allocs)
+      << "per-iteration heap traffic in the Anderson loop";
+}
+
+}  // namespace
