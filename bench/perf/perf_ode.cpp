@@ -8,7 +8,8 @@
 // evaluation reductions and wall-time speedups so solver regressions show
 // up as a diff.
 //
-//   perf_ode [out.json] [baseline.json] [--mode=current|legacy]
+//   perf_ode [out.json] [baseline.json]
+//            [--mode=current|legacy|sweep-warm|sweep-cold]
 //
 // Defaults: out = BENCH_ode.json, no baseline, mode = current. Mode
 // `legacy` pins the pre-engine behaviour (explicit relaxation or banded
@@ -17,7 +18,17 @@
 // BENCH_ode.baseline.json from the same binary. E[T] per case is included
 // in the JSON so an accidental semantic change is visible in the diff
 // (tests/golden_values_test.cpp pins the same values independently).
+//
+// The sweep modes measure λ-sweep continuation instead of standalone
+// solves: a 6-model x 16-λ grid chained through
+// core::FixedPointContinuation (sweep-warm) or solved point-by-point from
+// scratch (sweep-cold). sweep-warm also runs the cold reference in-process
+// and reports, per model, the evaluation reduction and the worst
+// warm-vs-cold sojourn deviation; the default output file for both is
+// BENCH_ode_sweep.json (the committed copy tracks the warm numbers).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -147,6 +158,158 @@ CaseResult time_case(const PerfCase& pc, bool legacy) {
   return out;
 }
 
+// --- λ-sweep continuation benchmark (modes sweep-warm / sweep-cold) ----
+
+struct SweepModel {
+  std::string name;      ///< case label in the table/JSON
+  std::string reg_name;  ///< registry name
+  core::ModelParams params;
+};
+
+/// Six models spanning the registry's solver paths (single-tail explicit,
+/// thresholded variants, the segmented transfer family, task sharing).
+std::vector<SweepModel> sweep_models() {
+  return {{"simple", "simple", {}},
+          {"threshold_T4", "threshold", {{"T", 4}}},
+          {"multi_choice_d2", "multi-choice", {{"d", 2}, {"T", 3}}},
+          {"multi_steal_k2", "multi-steal", {{"k", 2}, {"T", 4}}},
+          {"transfer_r4", "transfer", {{"r", 4}, {"T", 2}}},
+          {"sharing_S1", "sharing", {{"S", 1}}}};
+}
+
+/// 16 ascending arrival rates from the easy regime to near-critical.
+std::vector<double> sweep_lambdas() {
+  std::vector<double> ls;
+  for (int j = 0; j < 16; ++j) ls.push_back(0.50 + 0.032 * j);
+  return ls;
+}
+
+std::string sci(double v) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::scientific << v;
+  return os.str();
+}
+
+struct SweepChainResult {
+  std::size_t rhs_evals = 0;
+  std::vector<double> sojourns;
+  std::size_t warm_rejections = 0;  ///< warm starts the safeguard discarded
+};
+
+/// Solves the model's whole λ chain once. warm = continuation through a
+/// FixedPointContinuation; cold = standalone solve per point.
+SweepChainResult run_sweep_chain(const SweepModel& sm,
+                                 const std::vector<double>& lambdas,
+                                 bool warm) {
+  SweepChainResult out;
+  core::FixedPointContinuation chain;
+  for (std::size_t j = 0; j < lambdas.size(); ++j) {
+    const auto model = reg(sm.reg_name, lambdas[j], sm.params);
+    const auto r = warm ? chain.solve(*model)
+                        : core::solve_fixed_point(*model);
+    out.rhs_evals += r.rhs_evals;
+    out.sojourns.push_back(model->mean_sojourn(r.state));
+    if (warm && j > 0 && !r.warm) ++out.warm_rejections;
+  }
+  return out;
+}
+
+int run_sweep_mode(bool warm, const std::string& out_path) {
+  const auto lambdas = sweep_lambdas();
+  std::cout << "=== perf_ode: λ-sweep continuation ("
+            << (warm ? "sweep-warm" : "sweep-cold") << " mode, "
+            << sweep_models().size() << " models x " << lambdas.size()
+            << " λ) ===\n\n";
+
+  util::Table table(warm ? std::vector<std::string>{"model", "warm evals",
+                                                    "cold evals", "redux",
+                                                    "max |Δ sojourn|",
+                                                    "rejects", "ms"}
+                         : std::vector<std::string>{"model", "evals", "ms"});
+  auto cases_json = util::Json::array();
+  std::size_t total = 0, total_cold = 0;
+  double total_seconds = 0.0, max_dev_all = 0.0;
+  for (const auto& sm : sweep_models()) {
+    const auto chain = run_sweep_chain(sm, lambdas, warm);
+    // Best-of-N wall time for the whole chain (evals are deterministic).
+    double secs = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto t0 = Clock::now();
+      (void)run_sweep_chain(sm, lambdas, warm);
+      const double s = seconds_since(t0);
+      if (rep == 0 || s < secs) secs = s;
+    }
+    total += chain.rhs_evals;
+    total_seconds += secs;
+
+    auto j = util::Json::object();
+    j["name"] = sm.name;
+    j["rhs_evals"] = chain.rhs_evals;
+    j["seconds"] = secs;
+    j["sojourn_last"] = chain.sojourns.back();
+    if (warm) {
+      const auto cold = run_sweep_chain(sm, lambdas, false);
+      double max_dev = 0.0;
+      for (std::size_t k = 0; k < lambdas.size(); ++k) {
+        max_dev = std::max(max_dev,
+                           std::abs(chain.sojourns[k] - cold.sojourns[k]));
+      }
+      total_cold += cold.rhs_evals;
+      max_dev_all = std::max(max_dev_all, max_dev);
+      const double redux = static_cast<double>(cold.rhs_evals) /
+                           static_cast<double>(chain.rhs_evals);
+      j["cold_rhs_evals"] = cold.rhs_evals;
+      j["eval_reduction"] = redux;
+      j["max_sojourn_dev"] = max_dev;
+      j["warm_rejections"] = chain.warm_rejections;
+      table.add_row({sm.name, std::to_string(chain.rhs_evals),
+                     std::to_string(cold.rhs_evals),
+                     util::Table::fmt(redux, 2), sci(max_dev),
+                     std::to_string(chain.warm_rejections),
+                     util::Table::fmt(secs * 1e3, 2)});
+    } else {
+      table.add_row({sm.name, std::to_string(chain.rhs_evals),
+                     util::Table::fmt(secs * 1e3, 2)});
+    }
+    cases_json.push_back(std::move(j));
+  }
+  table.print(std::cout);
+
+  auto aggregate = util::Json::object();
+  aggregate["name"] = "aggregate";
+  aggregate["rhs_evals"] = total;
+  aggregate["seconds"] = total_seconds;
+  std::cout << "\naggregate: " << total << " rhs evals, "
+            << util::Table::fmt(total_seconds * 1e3, 1) << " ms";
+  if (warm) {
+    const double redux =
+        static_cast<double>(total_cold) / static_cast<double>(total);
+    aggregate["cold_rhs_evals"] = total_cold;
+    aggregate["eval_reduction"] = redux;
+    aggregate["max_sojourn_dev"] = max_dev_all;
+    std::cout << " (cold " << total_cold << " evals, "
+              << util::Table::fmt(redux, 2) << "x fewer warm, max dev "
+              << max_dev_all << ")";
+  }
+  std::cout << "\n\n";
+
+  auto doc = util::Json::object();
+  doc["schema"] = "lsm-ode-sweep-perf/1";
+  doc["mode"] = warm ? "sweep-warm" : "sweep-cold";
+  doc["workload"] =
+      "6-model x 16-λ ascending sweep; rhs_evals is deterministic, wall "
+      "time best-of-" +
+      std::to_string(kRepetitions);
+  doc["lambda_grid"] = "0.50 + 0.032j, j = 0..15";
+  doc["sweep_cases"] = std::move(cases_json);
+  doc["aggregate"] = std::move(aggregate);
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 /// Pulls `"<key>": <v>` following `"name": "<name>"` out of a previously
 /// written BENCH_ode.json. A full JSON parser is overkill for reading back
 /// our own flat output.
@@ -171,9 +334,10 @@ std::string slurp(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_ode.json";
+  std::string out_path;
   std::string baseline_path;
   bool legacy = false;
+  int sweep = -1;  // -1 = not a sweep mode, else bool: warm?
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -181,10 +345,14 @@ int main(int argc, char** argv) {
       legacy = true;
     } else if (arg == "--mode=current") {
       legacy = false;
+    } else if (arg == "--mode=sweep-warm") {
+      sweep = 1;
+    } else if (arg == "--mode=sweep-cold") {
+      sweep = 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg
                 << " (usage: perf_ode [out.json] [baseline.json]"
-                   " [--mode=current|legacy])\n";
+                   " [--mode=current|legacy|sweep-warm|sweep-cold])\n";
       return 2;
     } else {
       positional.push_back(arg);
@@ -192,6 +360,10 @@ int main(int argc, char** argv) {
   }
   if (!positional.empty()) out_path = positional[0];
   if (positional.size() > 1) baseline_path = positional[1];
+  if (out_path.empty()) {
+    out_path = sweep >= 0 ? "BENCH_ode_sweep.json" : "BENCH_ode.json";
+  }
+  if (sweep >= 0) return run_sweep_mode(sweep == 1, out_path);
   const std::string baseline =
       baseline_path.empty() ? "" : slurp(baseline_path);
   if (!baseline_path.empty() && baseline.empty()) {

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + test suite, a ThreadSanitizer pass over the
+# Tier-1 gate: full build + test suite, the fixed-point property suite
+# over its full λ grids, a ThreadSanitizer pass over the
 # concurrency-sensitive pieces (work-stealing thread pool + experiment
-# runner), and a report-only perf smoke against the committed baseline.
+# runner), and report-only perf smokes against the committed baselines.
 #
 #   scripts/check.sh               # everything (~4 min)
 #   SKIP_TSAN=1 scripts/check.sh   # skip the thread-sanitizer pass
 #   SKIP_UBSAN=1 scripts/check.sh  # skip the UB-sanitizer pass
 #   SKIP_PERF=1 scripts/check.sh   # skip the perf smokes
+#   SKIP_PROPERTIES=1 scripts/check.sh  # skip the full-grid property pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,15 @@ cmake -B build -G Ninja >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+if [ "${SKIP_PROPERTIES:-0}" != "1" ]; then
+  # Tier 1 already ran the property suite on its fast default grids;
+  # this leg re-runs just the `properties`-labelled binary with the
+  # widened λ grids (0.50..0.95, full up/down bistable sweep).
+  echo "== properties: fixed-point suite over the full λ grids"
+  LSM_PROPERTIES_FULL=1 ctest --test-dir build --output-on-failure \
+    -j "$jobs" -L properties
+fi
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "== tsan: work-stealing pool + runner determinism under -fsanitize=thread"
   cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
@@ -24,7 +35,7 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
   cmake --build build-tsan -j "$jobs" --target test_parallel test_exp_runner
   ./build-tsan/tests/test_parallel
   ./build-tsan/tests/test_exp_runner \
-    --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable'
+    --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable:SweepRunner.ManifestIsIdenticalAcrossPoolWidths:SweepRunner.MixedSimAndEstimateEntriesMergeIntoOneReport'
 fi
 
 if [ "${SKIP_UBSAN:-0}" != "1" ]; then
@@ -60,6 +71,13 @@ if [ "${SKIP_PERF:-0}" != "1" ]; then
   cmake --build build -j "$jobs" --target perf_ode
   ./build/bench/perf/perf_ode bench/perf/BENCH_ode.json \
     bench/perf/BENCH_ode.baseline.json
+
+  # Warm-started λ-sweep continuation: runs the 6-model x 16-λ grid warm
+  # and cold in one process; a regression shows as a shrinking
+  # eval-reduction column in the BENCH_ode_sweep.json diff.
+  echo "== perf smoke: warm sweep continuation vs cold (report-only)"
+  ./build/bench/perf/perf_ode bench/perf/BENCH_ode_sweep.json \
+    --mode=sweep-warm
 fi
 
 echo "check: all green"

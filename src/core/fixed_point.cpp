@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ode/newton.hpp"
+#include "util/error.hpp"
 
 namespace lsm::core {
 
@@ -59,11 +60,17 @@ std::string solve_label(const MeanFieldModel& model) {
 ode::FixedPointSolveResult iterate(const MeanFieldModel& model, ode::State s0,
                                    const FixedPointOptions& opts,
                                    bool loose = false,
-                                   bool relax_fallback = true) {
+                                   bool relax_fallback = true,
+                                   bool warm = false) {
   ode::FixedPointSolveOptions sopts;
   sopts.method = opts.method;
   sopts.stiff_bandwidth = model.stiff_bandwidth();
   sopts.tol = loose ? opts.relax_tol : std::min(opts.relax_tol, 1e-10);
+  // Warm continuation solves with a Newton polish downstream stop the
+  // accelerator at relax_tol: near-critical AA spends hundreds of weakly
+  // contracting iterations on the last two decades, which the (chord)
+  // polish closes in a handful of evaluations instead.
+  if (warm && opts.polish) sopts.tol = opts.relax_tol;
   sopts.label = solve_label(model);
   sopts.anderson = opts.anderson;
   sopts.relax_fallback = relax_fallback;
@@ -75,6 +82,10 @@ ode::FixedPointSolveResult iterate(const MeanFieldModel& model, ode::State s0,
   sopts.relax.check_interval = opts.check_interval;
   sopts.relax.adaptive.rtol = 1e-9;   // keep the integrator's noise floor
   sopts.relax.adaptive.atol = 1e-12;  // below deriv_tol so relaxation ends
+  // s0 is a continuation warm start: arm the ode-level safeguard so a
+  // diverged or basin-escaped warm attempt is redone cold from the empty
+  // state rather than trusted.
+  if (warm) sopts.cold_start = model.empty_state();
   return ode::solve_fixed_point(model, std::move(s0), sopts);
 }
 
@@ -90,13 +101,14 @@ void accumulate(FixedPointResult& result,
 }
 
 void polish(const MeanFieldModel& model, FixedPointResult& result,
-            const FixedPointOptions& opts) {
+            const FixedPointOptions& opts,
+            ode::NewtonWorkspace* reuse = nullptr) {
   if (!opts.polish || model.dimension() > opts.newton_max_dim) return;
   const RootSystem root(model);
   const ode::CountingSystem counted(root);
   ode::NewtonOptions nopts;
   nopts.tol = opts.polish_tol;
-  auto polished = ode::newton_fixed_point(counted, result.state, nopts);
+  auto polished = ode::newton_fixed_point(counted, result.state, nopts, reuse);
   result.rhs_evals += counted.evals();
   if (polished.converged) {
     result.state = std::move(polished.state);
@@ -105,10 +117,105 @@ void polish(const MeanFieldModel& model, FixedPointResult& result,
   }
 }
 
+/// Continuation warm solve: the warm state replaces the truncation ladder.
+/// The state is geometrically re-discretized to a tail-mass-compatible L
+/// (the previous λ's tail may be too short for this one — growing BEFORE
+/// the solve avoids an Anderson failure at a starved truncation), solved
+/// tightly once under the ode cold-start safeguard, tail-rechecked, and
+/// polished (with the chain's Newton chord when supplied).
+FixedPointResult solve_warm(const MeanFieldModel& model,
+                            const FixedPointOptions& opts) {
+  TruncationGuard guard(model);
+  const std::size_t cap = std::max(guard.original(), model.min_truncation());
+  const bool adaptive =
+      opts.truncation == TruncationMode::Adaptive ||
+      (opts.truncation == TruncationMode::Auto &&
+       !model.truncation_explicit() && model.stiff_bandwidth() == 0);
+
+  FixedPointResult result;
+  std::size_t rung;
+  ode::State start;
+  if (!adaptive) {
+    // Stiff / explicit-truncation / Fixed-mode models solve at the
+    // constructed truncation; the warm state is just re-discretized to it.
+    rung = guard.original();
+    model.set_truncation(rung);
+    start = model.resized_tail_state(opts.warm_state, opts.warm_truncation);
+  } else {
+    // Snap the inherited truncation UP onto this model's ladder rung
+    // sequence (max(min,24), doubling, capped): matching the cold
+    // ladder's quantized rungs keeps warm and cold solves on the same
+    // discretization, whose solutions agree to ~1e-12. An off-grid L
+    // (the previous λ's cap, say) can sit just below the rung the cold
+    // ladder would pick, and the two truncated systems then differ by
+    // the boundary-suppression error — ~1e-9 at marginal λ.
+    rung = std::min(cap, std::max<std::size_t>(model.min_truncation(), 24));
+    while (rung < cap && rung < opts.warm_truncation) {
+      rung = std::min(cap, 2 * rung);
+    }
+    model.set_truncation(rung);
+    start = model.resized_tail_state(opts.warm_state, opts.warm_truncation);
+    // Tail-mass-aware pre-growth of the inherited discretization: the
+    // previous λ's tail may be too short for this one.
+    while (rung < cap && model.tail_mass(start) > opts.tail_tol) {
+      const std::size_t next = std::min(cap, 2 * rung);
+      model.set_truncation(next);
+      start = model.resized_tail_state(start, rung);
+      rung = next;
+    }
+  }
+  model.project(start);  // clean up the grafted extension
+
+  auto first = iterate(model, std::move(start), opts, /*loose=*/false,
+                       /*relax_fallback=*/true, /*warm=*/true);
+  result.warm = !first.warm_rejected;
+  accumulate(result, std::move(first));
+
+  // The tight solve can reveal tail mass the inherited profile had not
+  // built up: grow and re-solve (still warm, still safeguarded).
+  while (adaptive && rung < cap &&
+         model.tail_mass(result.state) > opts.tail_tol) {
+    const std::size_t next = std::min(cap, 2 * rung);
+    model.set_truncation(next);
+    ode::State s = model.resized_tail_state(result.state, rung);
+    rung = next;
+    accumulate(result, iterate(model, std::move(s), opts, /*loose=*/false,
+                               /*relax_fallback=*/true, /*warm=*/true));
+  }
+
+  // The chord workspace only serves genuinely warm chains: a rejected warm
+  // attempt was answered by the cold path, which polishes classically.
+  polish(model, result, opts, result.warm ? opts.newton_reuse : nullptr);
+  result.final_truncation = rung;
+  result.compact_state = result.state;
+
+  if (opts.truncation == TruncationMode::Adaptive) {
+    guard.release();  // caller asked for the compact discretization
+    result.state_truncation = rung;
+    return result;
+  }
+  if (rung != guard.original()) {
+    model.set_truncation(guard.original());
+    result.state = model.resized_tail_state(result.state, rung);
+    ode::State f(model.dimension());
+    model.deriv(0.0, result.state, f);
+    result.residual = ode::norm_linf(f);
+    result.rhs_evals += 1;
+  }
+  result.state_truncation = guard.original();
+  return result;
+}
+
 }  // namespace
 
 FixedPointResult solve_fixed_point(const MeanFieldModel& model,
                                    const FixedPointOptions& opts) {
+  if (!opts.warm_state.empty()) {
+    LSM_EXPECT(opts.warm_truncation > 0,
+               "warm_state supplied without warm_truncation");
+    return solve_warm(model, opts);
+  }
+
   // Auto mode only re-discretizes non-stiff, auto-sized models: the stiff
   // path's cost is dominated by banded Jacobian refreshes, so re-solving
   // every rung roughly doubles the evaluation count instead of saving it.
@@ -122,6 +229,8 @@ FixedPointResult solve_fixed_point(const MeanFieldModel& model,
     accumulate(result, iterate(model, model.empty_state(), opts));
     polish(model, result, opts);
     result.final_truncation = model.truncation();
+    result.state_truncation = model.truncation();
+    result.compact_state = result.state;
     return result;
   }
 
@@ -166,9 +275,11 @@ FixedPointResult solve_fixed_point(const MeanFieldModel& model,
   }
   polish(model, result, opts);
   result.final_truncation = rung;
+  result.compact_state = result.state;
 
   if (opts.truncation == TruncationMode::Adaptive) {
     guard.release();  // caller asked for the compact discretization
+    result.state_truncation = rung;
     return result;
   }
   // Auto: make the re-discretization invisible. The guard restores the
@@ -184,7 +295,37 @@ FixedPointResult solve_fixed_point(const MeanFieldModel& model,
     result.residual = ode::norm_linf(f);
     result.rhs_evals += 1;
   }
+  result.state_truncation = guard.original();
   return result;
+}
+
+FixedPointResult FixedPointContinuation::solve(const MeanFieldModel& model,
+                                               FixedPointOptions opts) {
+  if (state_.empty()) {
+    opts.warm_state = ode::State{};
+    opts.warm_truncation = 0;
+    opts.newton_reuse = nullptr;
+  } else {
+    opts.warm_state = state_;
+    opts.warm_truncation = truncation_;
+    opts.newton_reuse = &newton_;
+  }
+  FixedPointResult result = core::solve_fixed_point(model, opts);
+  state_ = result.compact_state;
+  truncation_ = result.final_truncation;
+  return result;
+}
+
+void FixedPointContinuation::seed(ode::State state, std::size_t truncation) {
+  state_ = std::move(state);
+  truncation_ = truncation;
+  newton_.reset();
+}
+
+void FixedPointContinuation::reset() {
+  state_.clear();
+  truncation_ = 0;
+  newton_.reset();
 }
 
 double fixed_point_sojourn(const MeanFieldModel& model,

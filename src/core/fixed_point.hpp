@@ -14,6 +14,7 @@
 #pragma once
 
 #include "core/model.hpp"
+#include "ode/newton.hpp"
 #include "ode/solve.hpp"
 #include "ode/state.hpp"
 
@@ -59,6 +60,24 @@ struct FixedPointOptions {
   /// Ladder stop: grow L until the largest last-tracked tail entry falls
   /// under this mass (matches the 1e-13 target the auto-sizing aims for).
   double tail_tol = 1e-13;
+  /// Continuation warm start: a converged state from a neighbouring solve
+  /// (same model family, typically the previous λ of a sweep), discretized
+  /// at warm_truncation. When set, the truncation ladder is skipped — the
+  /// state is geometrically re-extended to a tail-mass-compatible L and
+  /// solved tightly at once — and the ode layer runs under the cold-start
+  /// safeguard: divergence or basin escape discards the warm attempt and
+  /// re-runs the ordinary cold path, so a warm solve never returns an
+  /// answer a cold one would reject. Leave empty for cold solves.
+  ode::State warm_state{};
+  /// Truncation the warm_state was discretized at. Required (non-zero)
+  /// whenever warm_state is set.
+  std::size_t warm_truncation = 0;
+  /// Optional cross-solve Newton workspace: consecutive solves in a
+  /// continuation chain that share it reuse the previous point's Jacobian
+  /// factorization as a chord during the polish phase (see
+  /// ode::NewtonWorkspace). Only consulted on warm solves; cold solves
+  /// always polish with the classic fresh-Jacobian iteration.
+  ode::NewtonWorkspace* newton_reuse = nullptr;
 };
 
 struct FixedPointResult {
@@ -76,7 +95,19 @@ struct FixedPointResult {
   /// constructed truncation afterwards, so this may be smaller than
   /// model.truncation().
   std::size_t final_truncation = 0;
+  /// Truncation the RETURNED state is discretized at (after any Auto-mode
+  /// restore).
+  std::size_t state_truncation = 0;
+  /// The solution at the ladder's final rung (final_truncation), BEFORE
+  /// any Auto-mode restore — the natural seed for continuation chains:
+  /// ladder rungs are quantized (24, 48, 96, …), so neighbouring λ share a
+  /// discretization and the chain's Newton chord stays valid, where the
+  /// restored `state` would change dimension at every grid point.
+  ode::State compact_state;
   bool fellback = false;  ///< Anderson gave up; relaxation finished
+  /// A warm start was supplied and actually used (no divergence/basin
+  /// rejection forced the cold path).
+  bool warm = false;
 };
 
 /// Computes the fixed point of `model`. Throws util::Error when no
@@ -87,5 +118,37 @@ struct FixedPointResult {
 /// Convenience: fixed point -> mean sojourn time (the tables' "Estimate").
 [[nodiscard]] double fixed_point_sojourn(const MeanFieldModel& model,
                                          const FixedPointOptions& opts = {});
+
+/// Chains solves along a parameter sweep: each call warm-starts from the
+/// previous call's converged state (and reuses its Newton factorization as
+/// a chord) when one is available, and updates the carried state from the
+/// result. The first call — or the first after reset() — runs the ordinary
+/// cold path, byte-identical to a standalone core::solve_fixed_point.
+/// Intended usage: one continuation per (model family, ordered λ grid);
+/// consecutive models must share the same state layout (tail segments).
+class FixedPointContinuation {
+ public:
+  /// Solves `model`, warm-started from the carried state when warm() is
+  /// true. The warm_* and newton_reuse fields of `opts` are overwritten.
+  FixedPointResult solve(const MeanFieldModel& model,
+                         FixedPointOptions opts = {});
+
+  /// Seeds the carried state from an external source (e.g. a cached sweep
+  /// point), so a resumed sweep continues warm. The Newton chord stays
+  /// empty — it is rebuilt lazily on the next polish.
+  void seed(ode::State state, std::size_t truncation);
+
+  /// Forgets the carried state and Newton factorization; the next solve
+  /// runs cold.
+  void reset();
+
+  /// A previous point is available to warm-start from.
+  [[nodiscard]] bool warm() const noexcept { return !state_.empty(); }
+
+ private:
+  ode::State state_{};
+  std::size_t truncation_ = 0;
+  ode::NewtonWorkspace newton_{};
+};
 
 }  // namespace lsm::core

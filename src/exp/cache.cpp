@@ -14,7 +14,7 @@ namespace lsm::exp {
 
 namespace {
 
-constexpr const char* kMagic = "lsm-job 1";
+constexpr const char* kMagic = "lsm-job 2";
 
 void put(std::string& out, const char* name, double v) {
   out += name;
@@ -105,6 +105,12 @@ bool ResultCache::load(const std::string& key, JobResult& out) const {
       ok = parse_double(in, r.est_residual);
     } else if (name == "est_tail") {
       vec(r.est_tail);
+    } else if (name == "est_rhs_evals") {
+      ok = static_cast<bool>(in >> r.est_rhs_evals);
+    } else if (name == "est_state") {
+      vec(r.est_state);
+    } else if (name == "est_state_truncation") {
+      ok = static_cast<bool>(in >> r.est_state_truncation);
     } else if (name == "has_sim") {
       std::uint64_t v = 0;
       ok = static_cast<bool>(in >> v);
@@ -156,6 +162,14 @@ void ResultCache::store(const std::string& key, const JobResult& r) const {
     put(out, "est_mean_tasks", r.est_mean_tasks);
     put(out, "est_residual", r.est_residual);
     put(out, "est_tail", r.est_tail);
+    put(out, "est_rhs_evals", r.est_rhs_evals);
+    if (!r.est_state.empty()) {
+      // util::Json::number_to_string is shortest-round-trip, so the
+      // state reloads bit-exactly and a resumed sweep continues from
+      // the same warm seed the uninterrupted run would have used.
+      put(out, "est_state", r.est_state);
+      put(out, "est_state_truncation", r.est_state_truncation);
+    }
   }
   put(out, "has_sim", static_cast<std::uint64_t>(r.has_sim));
   if (r.has_sim) {

@@ -24,6 +24,14 @@ struct JobResult {
   double est_mean_tasks = 0.0;
   double est_residual = 0.0;
   std::vector<double> est_tail;  ///< s_0..s_tail_limit of the fixed point
+  /// Derivative evaluations the solve cost (0 on a cache hit replay —
+  /// the cached entry's stored count is reported instead).
+  std::uint64_t est_rhs_evals = 0;
+  /// Converged state at the solver's compact ladder truncation, stored
+  /// only when Outputs::store_state is set: the warm-start seed a
+  /// λ-sweep chains (and resumes) from.
+  std::vector<double> est_state;
+  std::uint64_t est_state_truncation = 0;
 
   // Replicated simulation.
   bool has_sim = false;

@@ -51,7 +51,7 @@ std::string RunnerOptions::default_artifact_dir() {
   return ".lsm-artifacts";
 }
 
-JobResult execute_job(const Job& job) {
+JobResult execute_job(const Job& job, core::FixedPointContinuation* chain) {
   JobResult r;
   r.label = job.label;
   r.lambda = job.lambda;
@@ -59,15 +59,21 @@ JobResult execute_job(const Job& job) {
 
   if (job.estimate) {
     const auto model = core::make_model(job.model, job.lambda, job.params);
-    const auto fp = core::solve_fixed_point(*model);
+    const auto fp = chain != nullptr ? chain->solve(*model)
+                                     : core::solve_fixed_point(*model);
     r.has_estimate = true;
     r.est_sojourn = model->mean_sojourn(fp.state);
     r.est_mean_tasks = model->mean_tasks(fp.state);
     r.est_residual = fp.residual;
+    r.est_rhs_evals = fp.rhs_evals;
     if (job.outputs.tail_limit > 0) {
       const std::size_t n =
           std::min(job.outputs.tail_limit + 1, model->dimension());
       r.est_tail.assign(fp.state.begin(), fp.state.begin() + n);
+    }
+    if (job.outputs.store_state) {
+      r.est_state = fp.compact_state;
+      r.est_state_truncation = fp.final_truncation;
     }
   }
 
@@ -137,6 +143,13 @@ RunReport Runner::run(const ExperimentSpec& spec) {
         return r;
       });
 
+  report.wall_seconds = seconds_since(t0);
+  detail::finalize_report(report, opts_.artifact_dir);
+  return report;
+}
+
+void detail::finalize_report(RunReport& report,
+                             const std::string& artifact_dir) {
   for (const auto& r : report.results) {
     if (r.cache_hit) {
       ++report.cache_hits;
@@ -145,27 +158,26 @@ RunReport Runner::run(const ExperimentSpec& spec) {
       report.events_simulated += r.events;
     }
   }
-  report.wall_seconds = seconds_since(t0);
 
-  if (!opts_.artifact_dir.empty() && !spec.name.empty()) {
+  if (!artifact_dir.empty() && !report.spec_name.empty()) {
     namespace fs = std::filesystem;
     std::error_code ec;
-    fs::create_directories(opts_.artifact_dir, ec);
+    fs::create_directories(artifact_dir, ec);
     if (ec) {
-      throw util::Error("cannot create artifact dir " + opts_.artifact_dir);
+      throw util::Error("cannot create artifact dir " + artifact_dir);
     }
     const auto manifest_path =
-        fs::path(opts_.artifact_dir) / (spec.name + ".manifest.json");
+        fs::path(artifact_dir) / (report.spec_name + ".manifest.json");
     std::ofstream mf(manifest_path, std::ios::trunc);
     mf << report.manifest().dump(2) << "\n";
     report.manifest_path = manifest_path.string();
 
-    const auto csv_path = fs::path(opts_.artifact_dir) / (spec.name + ".csv");
+    const auto csv_path =
+        fs::path(artifact_dir) / (report.spec_name + ".csv");
     std::ofstream cf(csv_path, std::ios::trunc);
     report.table().write_csv(cf);
     report.csv_path = csv_path.string();
   }
-  return report;
 }
 
 const JobResult& RunReport::at(const std::string& label,
@@ -207,6 +219,7 @@ util::Json RunReport::manifest(bool include_timing) const {
       est["sojourn"] = r.est_sojourn;
       est["mean_tasks"] = r.est_mean_tasks;
       est["residual"] = r.est_residual;
+      est["rhs_evals"] = r.est_rhs_evals;
       if (!r.est_tail.empty()) est["tail"] = tail_json(r.est_tail);
       j["estimate"] = std::move(est);
     }

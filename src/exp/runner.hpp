@@ -28,6 +28,10 @@
 #include "util/json.hpp"
 #include "util/table.hpp"
 
+namespace lsm::core {
+class FixedPointContinuation;
+}  // namespace lsm::core
+
 namespace lsm::exp {
 
 struct RunnerOptions {
@@ -94,7 +98,21 @@ class Runner {
 };
 
 /// Computes one job without cache or pool; the unit of work the runner
-/// shards. Exposed for tests.
-[[nodiscard]] JobResult execute_job(const Job& job);
+/// shards. Exposed for tests. With a non-null `chain` the estimate side
+/// solves through the continuation (warm-started from the chain's carried
+/// state, which the call then updates); nullptr solves cold, exactly as
+/// before.
+[[nodiscard]] JobResult execute_job(
+    const Job& job, core::FixedPointContinuation* chain = nullptr);
+
+namespace detail {
+
+/// Report finalization shared by Runner and SweepRunner: fills the
+/// aggregate cache/event counters from `report.results` and, when
+/// `artifact_dir` and the spec name are non-empty, writes the manifest +
+/// CSV artifacts (recording their paths in the report).
+void finalize_report(RunReport& report, const std::string& artifact_dir);
+
+}  // namespace detail
 
 }  // namespace lsm::exp

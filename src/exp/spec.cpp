@@ -11,7 +11,9 @@ namespace {
 
 /// Bump when the canonical serialization or the cached result layout
 /// changes; stale cache entries then simply stop matching.
-constexpr int kFormatVersion = 1;
+/// v2: solver identity (cold/warm + warm chain prefix) and the stored
+/// converged state joined the key/result format.
+constexpr int kFormatVersion = 2;
 
 util::Json policy_json(const sim::StealPolicy& p) {
   auto j = util::Json::object();
@@ -88,10 +90,24 @@ util::Json Job::canonical() const {
     j["sim"] = config_json(config);
     j["replications"] = replications;
   }
+  if (estimate) {
+    // Solver configuration is part of the result's identity: a cached
+    // cold answer must never satisfy a warm query (or vice versa), and a
+    // warm answer is pinned to the exact chain prefix that produced it.
+    auto solver_json = util::Json::object();
+    solver_json["mode"] = solver;
+    if (solver == "warm") {
+      auto chain = util::Json::array();
+      for (const double l : warm_chain) chain.push_back(l);
+      solver_json["chain"] = std::move(chain);
+    }
+    j["solver"] = std::move(solver_json);
+  }
   auto out = util::Json::object();
   out["fixed_point"] = outputs.fixed_point;
   out["simulate"] = outputs.simulate;
   out["tail_limit"] = outputs.tail_limit;
+  out["store_state"] = outputs.store_state;
   j["outputs"] = std::move(out);
   return j;
 }

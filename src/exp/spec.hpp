@@ -38,6 +38,11 @@ struct Outputs {
   bool fixed_point = true;   ///< solve the mean-field ODE fixed point
   bool simulate = true;      ///< run the replicated discrete-event side
   std::size_t tail_limit = 0;  ///< store s_0..s_tail_limit profiles
+  /// Store the converged mean-field state (compact ladder discretization
+  /// + its truncation) in the result/cache, so interrupted λ-sweeps can
+  /// resume warm from the last cached point. Part of the content hash: a
+  /// state-less cached entry must never satisfy a state-needing query.
+  bool store_state = false;
 };
 
 /// One row of the grid. `model` drives the estimate side ("" = none);
@@ -64,6 +69,18 @@ struct Job {
   bool simulate = true;
   bool estimate = true;
   Outputs outputs;
+  /// Fixed-point solver identity, part of the content hash so warm and
+  /// cold results can never alias in the cache: "cold" is the standalone
+  /// solve (the default, and what a sweep's chain-head point runs);
+  /// "warm" marks a continuation solve seeded from the previous sweep
+  /// point.
+  std::string solver = "cold";
+  /// For solver == "warm": the λ values of every earlier point of the
+  /// chain, in sweep order. A warm answer depends (below tolerance, but
+  /// in principle) on the whole path that led to it, so the full prefix
+  /// is hashed — two sweeps over different grids never share warm
+  /// entries, while re-running or resuming the same sweep always hits.
+  std::vector<double> warm_chain;
 
   /// Canonical JSON of everything that determines this job's results.
   /// Field order is fixed, so equal configurations serialize identically.

@@ -1,0 +1,243 @@
+#include "exp/sweep.hpp"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/fixed_point.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace lsm::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One half of a job's outputs (estimate or simulation), tagged with the
+/// job's index in the report. Chains and sim points compute partials
+/// concurrently; the merge back into spec order is single-threaded.
+struct Partial {
+  std::size_t index = 0;
+  JobResult r;
+};
+
+/// The estimate-only cache identity of `job` (solver/warm_chain/
+/// store_state annotations ride along from the report job).
+Job estimate_part(const Job& job) {
+  Job e = job;
+  e.simulate = false;
+  return e;
+}
+
+/// The simulation-only cache identity of `job`. The sim side never
+/// depends on the solver, so the warm annotations are stripped: the same
+/// replications hash identically whether the sweep runs warm or cold.
+Job simulate_part(const Job& job) {
+  Job s = job;
+  s.estimate = false;
+  s.solver = "cold";
+  s.warm_chain.clear();
+  s.outputs.store_state = false;
+  return s;
+}
+
+/// Solves one entry's estimate jobs in λ order through a shared
+/// continuation. A cache hit re-seeds the chain from the stored compact
+/// state (bit-exact: the cache round-trips doubles losslessly), so a
+/// resumed sweep's first miss solves warm from the same seed the
+/// uninterrupted run would have used. The Newton chord is not persisted —
+/// it is rebuilt on the first polish — so a resumed point can differ from
+/// the uninterrupted one below the polish tolerance, never above it.
+std::vector<Partial> run_chain(const std::vector<std::size_t>& indices,
+                               const std::vector<Job>& jobs,
+                               const ResultCache& cache, bool warm) {
+  std::vector<Partial> out;
+  out.reserve(indices.size());
+  core::FixedPointContinuation chain;
+  for (const std::size_t index : indices) {
+    const Job ejob = estimate_part(jobs[index]);
+    const auto t0 = std::chrono::steady_clock::now();
+    JobResult r;
+    r.label = ejob.label;
+    r.lambda = ejob.lambda;
+    r.key = ejob.key();
+    // A warm-keyed entry without its stored state cannot seed the chain;
+    // treat it as a miss and repair it in place.
+    if (cache.load(r.key, r) && (!warm || !r.est_state.empty())) {
+      r.cache_hit = true;
+      if (warm) chain.seed(r.est_state, r.est_state_truncation);
+    } else {
+      r = execute_job(ejob, warm ? &chain : nullptr);
+      cache.store(r.key, r);
+    }
+    r.wall_seconds = seconds_since(t0);
+    out.push_back({index, std::move(r)});
+  }
+  return out;
+}
+
+/// Runs (or loads) one job's simulation half.
+Partial run_sim(std::size_t index, const std::vector<Job>& jobs,
+                const ResultCache& cache) {
+  const Job sjob = simulate_part(jobs[index]);
+  const auto t0 = std::chrono::steady_clock::now();
+  JobResult r;
+  r.label = sjob.label;
+  r.lambda = sjob.lambda;
+  r.key = sjob.key();
+  if (cache.load(r.key, r)) {
+    r.cache_hit = true;
+  } else {
+    r = execute_job(sjob);
+    cache.store(r.key, r);
+  }
+  r.wall_seconds = seconds_since(t0);
+  return {index, std::move(r)};
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::from(ExperimentSpec spec) {
+  const auto& ls = spec.lambdas;
+  LSM_EXPECT(!ls.empty(), "sweep spec has no arrival rates");
+  if (ls.size() > 1) {
+    const bool ascending = ls[1] > ls[0];
+    for (std::size_t i = 1; i < ls.size(); ++i) {
+      if (ascending ? ls[i] <= ls[i - 1] : ls[i] >= ls[i - 1]) {
+        throw util::Error("sweep spec '" + spec.name +
+                          "': λ grid must be strictly monotone");
+      }
+    }
+  }
+  return {std::move(spec)};
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {}
+
+RunReport SweepRunner::run(const ExperimentSpec& spec) {
+  return run(SweepSpec::from(spec));
+}
+
+RunReport SweepRunner::run(const SweepSpec& sweep) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExperimentSpec& spec = sweep.spec;
+  RunReport report;
+  report.spec_name = spec.name;
+  report.jobs = spec.expand();
+
+  // Annotate the chained estimate jobs with their solver identity, so
+  // both the cache keys and the manifest record how each point was
+  // actually solved. The chain's head point stays "cold": it runs the
+  // standalone cold solve, bit-identical to what a plain Runner computes.
+  const std::size_t n_lambdas = spec.lambdas.size();
+  if (opts_.warm) {
+    for (std::size_t e = 0; e < spec.entries.size(); ++e) {
+      for (std::size_t j = 0; j < n_lambdas; ++j) {
+        Job& job = report.jobs[e * n_lambdas + j];
+        if (!job.estimate) continue;
+        job.outputs.store_state = true;
+        if (j > 0) {
+          job.solver = "warm";
+          job.warm_chain.assign(spec.lambdas.begin(),
+                                spec.lambdas.begin() +
+                                    static_cast<std::ptrdiff_t>(j));
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<par::ThreadPool> owned;
+  par::ThreadPool* pool = opts_.pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<par::ThreadPool>(
+        opts_.threads > 0 ? opts_.threads : util::worker_threads());
+    pool = owned.get();
+  }
+  report.threads = pool->size();
+
+  const ResultCache cache(opts_.cache_dir);
+
+  // Work units: one per estimate chain (serial within, λ order), one per
+  // simulated point. The units only read disjoint report.jobs slots and
+  // return partials, so any pool schedule produces the same merge.
+  std::vector<std::function<std::vector<Partial>()>> units;
+  for (std::size_t e = 0; e < spec.entries.size(); ++e) {
+    const std::size_t base = e * n_lambdas;
+    std::vector<std::size_t> chain_indices;
+    for (std::size_t j = 0; j < n_lambdas; ++j) {
+      if (report.jobs[base + j].estimate) chain_indices.push_back(base + j);
+      if (report.jobs[base + j].simulate) {
+        units.emplace_back([&, index = base + j] {
+          return std::vector<Partial>{run_sim(index, report.jobs, cache)};
+        });
+      }
+    }
+    if (!chain_indices.empty()) {
+      units.emplace_back([&, indices = std::move(chain_indices)] {
+        return run_chain(indices, report.jobs, cache, opts_.warm);
+      });
+    }
+  }
+
+  const auto partials =
+      par::parallel_map(*pool, units.size(),
+                        [&](std::size_t i) { return units[i](); });
+
+  // Merge partials back into one result per job, in spec order. A job
+  // counts as a cache hit only when every half of it hit.
+  report.results.resize(report.jobs.size());
+  std::vector<std::size_t> parts(report.jobs.size(), 0);
+  std::vector<std::size_t> hits(report.jobs.size(), 0);
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    JobResult& r = report.results[i];
+    r.label = report.jobs[i].label;
+    r.lambda = report.jobs[i].lambda;
+    r.key = report.jobs[i].key();
+  }
+  for (const auto& bundle : partials) {
+    for (const auto& p : bundle) {
+      JobResult& dst = report.results[p.index];
+      const JobResult& src = p.r;
+      if (src.has_estimate) {
+        dst.has_estimate = true;
+        dst.est_sojourn = src.est_sojourn;
+        dst.est_mean_tasks = src.est_mean_tasks;
+        dst.est_residual = src.est_residual;
+        dst.est_tail = src.est_tail;
+        dst.est_rhs_evals = src.est_rhs_evals;
+        dst.est_state = src.est_state;
+        dst.est_state_truncation = src.est_state_truncation;
+      }
+      if (src.has_sim) {
+        dst.has_sim = true;
+        dst.sim_sojourn = src.sim_sojourn;
+        dst.sim_mean_tasks = src.sim_mean_tasks;
+        dst.sim_tail = src.sim_tail;
+        dst.steal_attempts = src.steal_attempts;
+        dst.steal_successes = src.steal_successes;
+        dst.tasks_moved = src.tasks_moved;
+        dst.forwards = src.forwards;
+        dst.message_rate = src.message_rate;
+        dst.events = src.events;
+      }
+      dst.wall_seconds += src.wall_seconds;
+      ++parts[p.index];
+      if (src.cache_hit) ++hits[p.index];
+    }
+  }
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    report.results[i].cache_hit = parts[i] > 0 && hits[i] == parts[i];
+  }
+
+  report.wall_seconds = seconds_since(t0);
+  detail::finalize_report(report, opts_.artifact_dir);
+  return report;
+}
+
+}  // namespace lsm::exp

@@ -1,0 +1,70 @@
+// Warm-started λ-sweep execution for experiment specs.
+//
+// Runner shards by point: every (entry, λ) job is independent, which is
+// right for the simulation-heavy side but leaves the mean-field side
+// solving every λ from scratch. A sweep over an ordered λ grid is a
+// continuation problem — neighbouring fixed points are close, so the
+// previous point's converged tail state, truncation level and Newton
+// factorization are a far better start than a cold solve. SweepRunner
+// therefore shards the ESTIMATE side by grid entry — one chain per
+// model, points solved in λ order through a core::FixedPointContinuation
+// — while the simulation side still fans out per point; the partial
+// results merge into one Runner-compatible RunReport.
+//
+// Caching: chained estimate results are cached under warm-aware keys
+// (Job::solver and the full warm_chain prefix feed the content hash)
+// with the converged compact state stored alongside
+// (Outputs::store_state), so an interrupted sweep resumes warm from the
+// last cached point, and a warm entry can never satisfy a cold query or
+// vice versa. A chain's head point runs the ordinary cold solve and is
+// keyed as such.
+#pragma once
+
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+
+namespace lsm::exp {
+
+/// An ExperimentSpec whose λ axis is strictly monotone (ascending or
+/// descending — a hysteresis study sweeps back down) and therefore safe
+/// to chain.
+struct SweepSpec {
+  ExperimentSpec spec;
+
+  /// Validates that `spec.lambdas` is non-empty and strictly monotone;
+  /// throws util::Error otherwise.
+  [[nodiscard]] static SweepSpec from(ExperimentSpec spec);
+};
+
+struct SweepOptions {
+  /// External pool to shard on; nullptr spawns a private pool of
+  /// `threads` workers (0 = util::worker_threads()).
+  par::ThreadPool* pool = nullptr;
+  unsigned threads = 0;
+  /// "" disables caching. Defaults to LSM_CACHE_DIR / ".lsm-cache".
+  std::string cache_dir = ResultCache::default_dir();
+  /// Directory for the manifest + CSV; "" disables artifact emission.
+  std::string artifact_dir = RunnerOptions::default_artifact_dir();
+  /// Warm continuation along each entry's λ chain. false solves every
+  /// point cold under plain cold keys — the reference mode the warm path
+  /// is validated against (fixed_point_property_test asserts the two
+  /// agree to 1e-9).
+  bool warm = true;
+};
+
+/// Executes a SweepSpec: estimate chains per entry, simulations per
+/// point, merged into the same RunReport shape Runner produces (results
+/// parallel to jobs in spec order, deterministic across thread counts).
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  [[nodiscard]] RunReport run(const SweepSpec& sweep);
+  /// Convenience: validates `spec` via SweepSpec::from first.
+  [[nodiscard]] RunReport run(const ExperimentSpec& spec);
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace lsm::exp

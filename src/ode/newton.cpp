@@ -2,19 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "ode/linalg.hpp"
 #include "util/error.hpp"
 
 namespace lsm::ode {
 
-NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
-                                const NewtonOptions& opts) {
+NewtonWorkspace::NewtonWorkspace() = default;
+NewtonWorkspace::~NewtonWorkspace() = default;
+NewtonWorkspace::NewtonWorkspace(NewtonWorkspace&&) noexcept = default;
+NewtonWorkspace& NewtonWorkspace::operator=(NewtonWorkspace&&) noexcept =
+    default;
+
+void NewtonWorkspace::reset() {
+  lu_.reset();
+  dim_ = 0;
+}
+
+bool NewtonWorkspace::holds(std::size_t dim) const {
+  return lu_ != nullptr && dim_ == dim;
+}
+
+struct NewtonWorkspaceAccess {
+  static std::unique_ptr<LuSolver>& lu(NewtonWorkspace& ws) { return ws.lu_; }
+  static std::size_t& dim(NewtonWorkspace& ws) { return ws.dim_; }
+};
+
+namespace {
+
+/// Forward-difference Jacobian of sys.deriv at `s` (residual `f` already
+/// evaluated there), factored. Costs n derivative evaluations. Throws
+/// util::Error on numerical singularity.
+std::unique_ptr<LuSolver> factor_jacobian(const OdeSystem& sys, const State& s,
+                                          const State& f, double fd_eps,
+                                          State& f_pert) {
   const std::size_t n = sys.dimension();
-  LSM_EXPECT(s0.size() == n, "initial state has wrong dimension");
+  Matrix jac(n, n);
+  State pert = s;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = fd_eps * std::max(1.0, std::abs(s[j]));
+    pert[j] = s[j] + h;
+    sys.deriv(0.0, pert, f_pert);
+    pert[j] = s[j];
+    const double inv_h = 1.0 / h;
+    for (std::size_t i = 0; i < n; ++i) {
+      jac(i, j) = (f_pert[i] - f[i]) * inv_h;
+    }
+  }
+  return std::make_unique<LuSolver>(std::move(jac));
+}
+
+/// The classic path: fresh Jacobian every iteration plus a backtracking
+/// line search. Kept bit-for-bit as before so cold solves (and their golden
+/// artifacts) are untouched by the continuation machinery.
+NewtonResult newton_classic(const OdeSystem& sys, NewtonResult result,
+                            const NewtonOptions& opts) {
+  const std::size_t n = sys.dimension();
   State f(n), f_pert(n), trial(n);
-  NewtonResult result;
-  result.state = std::move(s0);
 
   sys.deriv(0.0, result.state, f);
   result.residual_norm = norm_linf(f);
@@ -26,28 +71,21 @@ NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
     }
     ++result.iterations;
 
-    // Forward-difference Jacobian, column by column.
-    Matrix jac(n, n);
-    State pert = result.state;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double h =
-          opts.fd_eps * std::max(1.0, std::abs(result.state[j]));
-      pert[j] = result.state[j] + h;
-      sys.deriv(0.0, pert, f_pert);
-      pert[j] = result.state[j];
-      const double inv_h = 1.0 / h;
-      for (std::size_t i = 0; i < n; ++i) {
-        jac(i, j) = (f_pert[i] - f[i]) * inv_h;
-      }
+    std::unique_ptr<LuSolver> lu;
+    try {
+      lu = factor_jacobian(sys, result.state, f, opts.fd_eps, f_pert);
+    } catch (const util::Error&) {
+      return result;  // singular Jacobian: hand back best-so-far
     }
+    ++result.jacobian_builds;
 
     std::vector<double> rhs(n);
     for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
     std::vector<double> delta;
     try {
-      delta = LuSolver(jac).solve(std::move(rhs));
+      delta = lu->solve(std::move(rhs));
     } catch (const util::Error&) {
-      return result;  // singular Jacobian: hand back best-so-far
+      return result;
     }
 
     // Backtracking line search on the residual norm.
@@ -73,6 +111,119 @@ NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
   }
   result.converged = result.residual_norm < opts.tol;
   return result;
+}
+
+/// Continuation path: chord steps with the workspace's cached factorization
+/// (one residual evaluation each), rebuilding only when a stale chord stops
+/// contracting. The freshest factorization stays in the workspace for the
+/// next solve in the chain.
+NewtonResult newton_chord(const OdeSystem& sys, NewtonResult result,
+                          const NewtonOptions& opts, NewtonWorkspace& ws) {
+  const std::size_t n = sys.dimension();
+  State f(n), f_pert(n), trial(n);
+
+  sys.deriv(0.0, result.state, f);
+  result.residual_norm = norm_linf(f);
+
+  // A factorization inherited from the previous solve in the chain is not
+  // at the current iterate; one built below is.
+  bool lu_fresh = false;
+
+  for (std::size_t iter = 0; iter < opts.max_iter; ++iter) {
+    if (result.residual_norm < opts.tol) {
+      result.converged = true;
+      return result;
+    }
+    ++result.iterations;
+
+    // At most two passes: one with the stale chord, one after a rebuild.
+    for (;;) {
+      if (!ws.holds(n)) {
+        try {
+          NewtonWorkspaceAccess::lu(ws) =
+              factor_jacobian(sys, result.state, f, opts.fd_eps, f_pert);
+          NewtonWorkspaceAccess::dim(ws) = n;
+        } catch (const util::Error&) {
+          ws.reset();
+          return result;  // singular Jacobian: hand back best-so-far
+        }
+        ++result.jacobian_builds;
+        lu_fresh = true;
+      }
+
+      std::vector<double> rhs(n);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+      std::vector<double> delta;
+      try {
+        delta = NewtonWorkspaceAccess::lu(ws)->solve(std::move(rhs));
+      } catch (const util::Error&) {
+        ws.reset();
+        return result;
+      }
+
+      for (std::size_t i = 0; i < n; ++i) {
+        trial[i] = result.state[i] + delta[i];
+      }
+      sys.project(trial);
+      sys.deriv(0.0, trial, f_pert);
+      const double trial_norm = norm_linf(f_pert);
+      // A stale chord must genuinely contract to stay in play; a fresh
+      // Jacobian only has to improve (matching the classic acceptance).
+      const double bound = lu_fresh
+                               ? result.residual_norm
+                               : opts.chord_contraction * result.residual_norm;
+      if (trial_norm < bound) {
+        result.state = trial;
+        std::swap(f, f_pert);
+        result.residual_norm = trial_norm;
+        lu_fresh = false;  // the iterate moved away from the factorization
+        break;
+      }
+      if (!lu_fresh) {
+        ws.reset();  // stale chord stopped contracting: rebuild and retry
+        continue;
+      }
+      // Fresh Jacobian and the full step still failed: backtrack.
+      double alpha = 0.5;
+      bool improved = false;
+      for (int bt = 0; bt < 29; ++bt) {
+        for (std::size_t i = 0; i < n; ++i) {
+          trial[i] = result.state[i] + alpha * delta[i];
+        }
+        sys.project(trial);
+        sys.deriv(0.0, trial, f_pert);
+        const double bt_norm = norm_linf(f_pert);
+        if (bt_norm < result.residual_norm) {
+          result.state = trial;
+          std::swap(f, f_pert);
+          result.residual_norm = bt_norm;
+          improved = true;
+          break;
+        }
+        alpha *= 0.5;
+      }
+      if (!improved) return result;  // stagnated
+      lu_fresh = false;
+      break;
+    }
+  }
+  result.converged = result.residual_norm < opts.tol;
+  return result;
+}
+
+}  // namespace
+
+NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
+                                const NewtonOptions& opts,
+                                NewtonWorkspace* reuse) {
+  LSM_EXPECT(s0.size() == sys.dimension(),
+             "initial state has wrong dimension");
+  NewtonResult result;
+  result.state = std::move(s0);
+  if (reuse != nullptr) {
+    return newton_chord(sys, std::move(result), opts, *reuse);
+  }
+  return newton_classic(sys, std::move(result), opts);
 }
 
 }  // namespace lsm::ode

@@ -3,27 +3,72 @@
 // systems after ODE relaxation has brought the iterate into the basin.
 #pragma once
 
+#include <cstddef>
+#include <memory>
+
 #include "ode/system.hpp"
 
 namespace lsm::ode {
+
+class LuSolver;
 
 struct NewtonOptions {
   double tol = 1e-13;        ///< stop when ||f(s)||_inf < tol
   std::size_t max_iter = 60;
   double fd_eps = 1e-7;      ///< forward-difference Jacobian perturbation
+  /// Chord acceptance: a step taken with a reused factorization (see
+  /// NewtonWorkspace) must shrink the residual by at least this factor,
+  /// otherwise the Jacobian is rebuilt at the current iterate.
+  double chord_contraction = 0.5;
 };
 
 struct NewtonResult {
   State state;
   double residual_norm = 0.0;
   std::size_t iterations = 0;
+  /// Finite-difference Jacobians assembled (each costs `dimension`
+  /// derivative evaluations). 0 when every step reused a cached chord.
+  std::size_t jacobian_builds = 0;
   bool converged = false;
+};
+
+/// Cross-solve Newton state for continuation sweeps. A λ-sweep polishes a
+/// chain of nearby fixed points; the Jacobian barely moves between
+/// neighbouring λ, so the previous point's LU factorization makes a good
+/// chord for the next. Pass the same workspace to consecutive
+/// newton_fixed_point calls and each polish first tries chord steps with
+/// the cached factorization (one residual evaluation per step instead of a
+/// full O(n) finite-difference Jacobian); a step that fails to contract by
+/// `chord_contraction` triggers a fresh factorization, so reuse is an
+/// optimization, never a correctness risk — convergence is still judged
+/// against the true residual.
+class NewtonWorkspace {
+ public:
+  NewtonWorkspace();
+  ~NewtonWorkspace();
+  NewtonWorkspace(NewtonWorkspace&&) noexcept;
+  NewtonWorkspace& operator=(NewtonWorkspace&&) noexcept;
+
+  /// Drops the cached factorization (e.g. when the chain jumps to an
+  /// unrelated model or the discretization changes shape).
+  void reset();
+  /// A factorization of the given dimension is available for chord steps.
+  [[nodiscard]] bool holds(std::size_t dim) const;
+
+ private:
+  friend struct NewtonWorkspaceAccess;  // implementation backdoor
+  std::unique_ptr<LuSolver> lu_;
+  std::size_t dim_ = 0;
 };
 
 /// Solves f(s) = 0 where f is sys.deriv at t = 0. On stagnation returns the
 /// best iterate with converged = false rather than throwing, so callers can
-/// fall back to the relaxation result.
+/// fall back to the relaxation result. With a non-null `reuse` workspace the
+/// call may take chord steps with a previously cached factorization and
+/// leaves its freshest factorization behind for the next call; without one
+/// the Jacobian is rebuilt every iteration (the classic behaviour).
 NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
-                                const NewtonOptions& opts = {});
+                                const NewtonOptions& opts = {},
+                                NewtonWorkspace* reuse = nullptr);
 
 }  // namespace lsm::ode

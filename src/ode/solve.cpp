@@ -1,13 +1,49 @@
 #include "ode/solve.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "ode/integrator.hpp"
 #include "util/error.hpp"
 
 namespace lsm::ode {
 
 namespace {
+
+double distance_linf(const State& a, const State& b) {
+  double d = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+/// Basin-escape probe for warm starts: integrate the REAL dynamics a short
+/// horizon from the warm start and check the flow is approaching the
+/// candidate fixed point. The physical equilibrium is by definition the
+/// attractor of forward integration from the start, so a candidate the
+/// flow moves away from sits in the wrong basin (the truncated
+/// StagedTransferWS bistability is the concrete failure this guards).
+/// Returns true when the candidate must be rejected; adds the probe's
+/// evaluations to `evals`.
+bool basin_escaped(const OdeSystem& sys, const State& start,
+                   const State& candidate, const FixedPointSolveOptions& opts,
+                   std::size_t& evals) {
+  const double moved = distance_linf(start, candidate);
+  if (moved <= opts.basin_check_dist) return false;
+  CountingSystem counted(sys);
+  State probe = start;
+  AdaptiveOptions aopts;
+  aopts.rtol = 1e-6;  // the probe only needs the sign of the distance change
+  aopts.atol = 1e-9;
+  integrate_adaptive(counted, probe, 0.0, opts.basin_probe_time, aopts);
+  evals += counted.evals();
+  // Near-critical points contract slowly, so require approach rather than
+  // arrival; ties (flow not approaching at all) count as escapes.
+  return distance_linf(probe, candidate) >= moved;
+}
 
 FixedPointSolveResult run_relax(const OdeSystem& sys, State s0,
                                 const FixedPointSolveOptions& opts) {
@@ -46,25 +82,57 @@ FixedPointSolveResult run_stiff(const OdeSystem& sys, State s0,
 }
 
 FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
+                                   const FixedPointSolveOptions& opts);
+
+/// Discards a warm attempt and re-runs the Anderson path cold from
+/// opts.cold_start. Recursion is bounded: the nested options clear
+/// cold_start, so the re-run is an ordinary cold solve.
+FixedPointSolveResult rerun_cold(const OdeSystem& sys,
+                                 const FixedPointSolveOptions& opts) {
+  FixedPointSolveOptions copts = opts;
+  State cold = std::move(copts.cold_start);
+  copts.cold_start = State{};
+  return run_anderson(sys, std::move(cold), copts);
+}
+
+FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
                                    const FixedPointSolveOptions& opts) {
+  const bool warm = !opts.cold_start.empty();
   AndersonOptions aopts = opts.anderson;
   aopts.tol = opts.tol;
   // Keep the caller's start around: if acceleration fails we relax from
   // THERE, not from Anderson's best iterate. Truncated systems can be
   // bistable, and the physically meaningful equilibrium is the one that
   // forward time integration reaches from the caller's start -- a diverged
-  // Anderson iterate may already sit in the wrong basin.
+  // Anderson iterate may already sit in the wrong basin. Warm solves also
+  // need the start for the basin probe.
   State start;
-  if (opts.relax_fallback) start = s0;
+  if (opts.relax_fallback || warm) start = s0;
   AndersonResult aa = anderson_fixed_point(sys, std::move(s0), aopts);
   if (aa.converged ||
       aa.residual_norm <= opts.anderson_accept_factor * aopts.tol) {
+    std::size_t probe_evals = 0;
+    if (warm && basin_escaped(sys, start, aa.state, opts, probe_evals)) {
+      FixedPointSolveResult out = rerun_cold(sys, opts);
+      out.rhs_evals += aa.rhs_evals + probe_evals;
+      out.warm_rejected = true;
+      return out;
+    }
     FixedPointSolveResult out;
     out.state = std::move(aa.state);
     out.residual = aa.residual_norm;
     out.method = FixedPointMethod::Anderson;
-    out.rhs_evals = aa.rhs_evals;
+    out.rhs_evals = aa.rhs_evals + probe_evals;
     out.iterations = aa.iterations;
+    return out;
+  }
+  if (warm) {
+    // Warm acceleration stalled or diverged: never fall back from the warm
+    // iterate. Re-run the whole cold path (including its own fallback
+    // semantics) so the answer is exactly what a cold caller would get.
+    FixedPointSolveResult out = rerun_cold(sys, opts);
+    out.rhs_evals += aa.rhs_evals;
+    out.warm_rejected = true;
     return out;
   }
   if (!opts.relax_fallback) {

@@ -63,6 +63,25 @@ struct FixedPointSolveOptions {
   bool relax_fallback = true;
   SteadyStateOptions relax{};
   StiffRelaxOptions stiff{};
+  /// Continuation safeguard. When s0 is a warm start carried over from a
+  /// neighbouring solve (a λ-sweep threading the previous fixed point
+  /// forward), set cold_start to the canonical cold start for this system
+  /// (typically the empty state). Two behaviours change: a failed Anderson
+  /// run re-runs the whole cold path from cold_start instead of relaxing
+  /// from the possibly-wrong-basin warm s0, and a converged warm answer
+  /// that moved further than basin_check_dist from s0 must pass a
+  /// forward-integration probe (the real flow from s0 has to approach it)
+  /// before being accepted — otherwise it is discarded as a basin escape
+  /// and the cold path runs. Truncated systems can be bistable (see the
+  /// dispatch notes above), so a warm solve is never allowed to return an
+  /// answer the cold safeguard would reject. Leave empty for cold solves.
+  State cold_start{};
+  /// Inf-norm movement of the warm solve below which the basin probe is
+  /// skipped: a solution that stayed this local cannot have crossed into
+  /// another basin of these smooth mean-field systems.
+  double basin_check_dist = 0.05;
+  /// Virtual-time horizon of the basin probe integration.
+  double basin_probe_time = 2.0;
 };
 
 struct FixedPointSolveResult {
@@ -73,6 +92,9 @@ struct FixedPointSolveResult {
   std::size_t iterations = 0;  ///< AA iterations / PTC steps (0 for relax)
   double relax_time = 0.0;     ///< virtual time, when relaxation ran
   bool fellback = false;  ///< Anderson failed; relaxation re-ran from s0
+  /// The warm start was rejected (divergence or basin escape) and the
+  /// returned answer was produced by the cold path from opts.cold_start.
+  bool warm_rejected = false;
 };
 
 /// Finds s with ||f(s)||_inf < opts.tol starting from s0. Throws

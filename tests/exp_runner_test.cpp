@@ -1,7 +1,10 @@
 // Tests for the experiment-runner subsystem: grid expansion, content
-// hashing, determinism across pool widths, and the disk result cache.
+// hashing, determinism across pool widths, the disk result cache, and the
+// warm-started λ-sweep runner (solver-aware keys, state round-trips, warm
+// resume, warm-vs-cold agreement).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +12,7 @@
 #include "exp/cache.hpp"
 #include "exp/runner.hpp"
 #include "exp/spec.hpp"
+#include "exp/sweep.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -235,6 +239,242 @@ TEST(ResultCache, DisabledCacheNeverHits) {
   exp::JobResult r;
   cache.store("0123456789abcdef", r);  // no-op
   EXPECT_FALSE(cache.load("0123456789abcdef", r));
+}
+
+// --- warm-started λ-sweep runner ---------------------------------------
+
+/// Estimate-only spec over an ascending λ grid: the pure continuation
+/// case the sweep runner chains.
+exp::ExperimentSpec est_sweep_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "exp_sweep_test";
+  spec.lambdas = {0.5, 0.65, 0.8, 0.9};
+  spec.fidelity = {2, 400.0, 50.0, "test"};
+  spec.outputs.simulate = false;
+  {
+    exp::GridEntry e;
+    e.label = "simple";
+    e.model = "simple";
+    e.simulate = false;
+    spec.add(std::move(e));
+  }
+  {
+    exp::GridEntry e;
+    e.label = "t4";
+    e.model = "threshold";
+    e.params = {{"T", 4.0}};
+    e.simulate = false;
+    spec.add(std::move(e));
+  }
+  return spec;
+}
+
+exp::SweepOptions sweep_options(const TempDir& cache, unsigned threads,
+                                bool warm = true) {
+  exp::SweepOptions opts;
+  opts.threads = threads;
+  opts.cache_dir = cache.path.string();
+  opts.artifact_dir = "";
+  opts.warm = warm;
+  return opts;
+}
+
+TEST(ExperimentSpec, SolverIdentityIsPartOfTheKey) {
+  const auto jobs = small_spec().expand();
+  const auto& cold = jobs[3];  // estimate-only job
+  ASSERT_TRUE(cold.estimate);
+
+  auto warm = cold;
+  warm.solver = "warm";
+  warm.warm_chain = {0.5};
+  EXPECT_NE(warm.key(), cold.key());
+
+  // The whole chain prefix is hashed: different paths to the same λ must
+  // never share a warm entry.
+  auto longer = warm;
+  longer.warm_chain = {0.4, 0.5};
+  EXPECT_NE(longer.key(), warm.key());
+
+  // Storing the converged state is part of the result's identity too.
+  auto stateful = cold;
+  stateful.outputs.store_state = true;
+  EXPECT_NE(stateful.key(), cold.key());
+
+  // Sim-only jobs have no solver, so solver fields must not perturb them.
+  auto sim_only = jobs[0];
+  sim_only.estimate = false;
+  auto sim_warm = sim_only;
+  sim_warm.solver = "warm";
+  sim_warm.warm_chain = {0.5};
+  EXPECT_EQ(sim_warm.key(), sim_only.key());
+}
+
+TEST(ResultCache, StateRoundTripsBitExact) {
+  const TempDir dir("state");
+  const exp::ResultCache cache(dir.path.string());
+  exp::JobResult r;
+  r.has_estimate = true;
+  r.est_sojourn = 2.5;
+  r.est_rhs_evals = 123;
+  r.est_state = {1.0, 1.0 / 3.0, 0.1, 5.42101086242752217e-20, 1e-13};
+  r.est_state_truncation = 48;
+  cache.store("feedfacefeedface", r);
+
+  exp::JobResult loaded;
+  ASSERT_TRUE(cache.load("feedfacefeedface", loaded));
+  EXPECT_EQ(loaded.est_state, r.est_state);  // bit-exact, not approximate
+  EXPECT_EQ(loaded.est_state_truncation, 48u);
+  EXPECT_EQ(loaded.est_rhs_evals, 123u);
+}
+
+TEST(SweepSpec, RejectsNonMonotoneGrids) {
+  auto spec = est_sweep_spec();
+  spec.lambdas = {0.5, 0.8, 0.8};
+  EXPECT_THROW((void)exp::SweepSpec::from(spec), util::Error);
+  spec.lambdas = {0.5, 0.8, 0.7};
+  EXPECT_THROW((void)exp::SweepSpec::from(spec), util::Error);
+  spec.lambdas = {0.9, 0.7, 0.5};  // descending is a valid sweep
+  EXPECT_NO_THROW((void)exp::SweepSpec::from(spec));
+}
+
+TEST(SweepRunner, ManifestIsIdenticalAcrossPoolWidths) {
+  std::string reference;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const TempDir cache("sweep-det" + std::to_string(threads));
+    exp::SweepRunner runner(sweep_options(cache, threads));
+    const auto report = runner.run(est_sweep_spec());
+    EXPECT_EQ(report.cache_misses, 8u);
+    const std::string manifest =
+        report.manifest(/*include_timing=*/false).dump(2);
+    if (reference.empty()) {
+      reference = manifest;
+    } else {
+      EXPECT_EQ(manifest, reference) << "threads=" << threads;
+    }
+  }
+  // The chained points are marked as warm solves in the manifest config.
+  EXPECT_NE(reference.find("\"mode\": \"warm\""), std::string::npos);
+  EXPECT_NE(reference.find("\"mode\": \"cold\""), std::string::npos);
+}
+
+TEST(SweepRunner, WarmAgreesWithColdRunnerToTolerance) {
+  const auto spec = est_sweep_spec();
+
+  const TempDir warm_cache("sweep-warm");
+  exp::SweepRunner warm_runner(sweep_options(warm_cache, 2, true));
+  const auto warm = warm_runner.run(spec);
+
+  const TempDir cold_cache("sweep-cold");
+  exp::Runner cold_runner([&] {
+    exp::RunnerOptions opts;
+    opts.threads = 2;
+    opts.cache_dir = cold_cache.path.string();
+    opts.artifact_dir = "";
+    return opts;
+  }());
+  const auto cold = cold_runner.run(spec);
+
+  ASSERT_EQ(warm.results.size(), cold.results.size());
+  for (std::size_t i = 0; i < warm.results.size(); ++i) {
+    const auto& w = warm.results[i];
+    const auto& c = cold.results[i];
+    ASSERT_TRUE(w.has_estimate) << i;
+    EXPECT_NEAR(w.est_sojourn, c.est_sojourn,
+                1e-9 * std::max(1.0, std::abs(c.est_sojourn)))
+        << w.label << " λ=" << w.lambda;
+    // Chain heads run the standalone cold solve: bit-identical to Runner.
+    if (w.lambda == spec.lambdas.front()) {
+      EXPECT_EQ(w.est_sojourn, c.est_sojourn) << w.label;
+    }
+  }
+}
+
+TEST(SweepRunner, ColdModeMatchesRunnerBitForBit) {
+  const auto spec = est_sweep_spec();
+
+  const TempDir sweep_cache("sweepmode-cold");
+  exp::SweepRunner sweep_runner(sweep_options(sweep_cache, 2, false));
+  const auto via_sweep = sweep_runner.run(spec);
+
+  const TempDir runner_cache("plain-cold");
+  exp::Runner runner([&] {
+    exp::RunnerOptions opts;
+    opts.threads = 2;
+    opts.cache_dir = runner_cache.path.string();
+    opts.artifact_dir = "";
+    return opts;
+  }());
+  const auto via_runner = runner.run(spec);
+
+  ASSERT_EQ(via_sweep.results.size(), via_runner.results.size());
+  for (std::size_t i = 0; i < via_sweep.results.size(); ++i) {
+    EXPECT_EQ(via_sweep.results[i].est_sojourn,
+              via_runner.results[i].est_sojourn)
+        << i;
+    // Estimate-only cold sweep jobs are keyed exactly like Runner's, so
+    // the two schedulers share cache entries.
+    EXPECT_EQ(via_sweep.results[i].key, via_runner.results[i].key) << i;
+  }
+}
+
+TEST(SweepRunner, InterruptedSweepResumesWarmFromCache) {
+  const TempDir cache("sweep-resume");
+
+  // Uninterrupted reference, fresh cache each time.
+  const TempDir ref_cache("sweep-ref");
+  exp::SweepRunner ref_runner(sweep_options(ref_cache, 2));
+  const auto reference = ref_runner.run(est_sweep_spec());
+
+  // "Interrupted" sweep: the first two λ of the same chains.
+  auto prefix = est_sweep_spec();
+  prefix.lambdas = {0.5, 0.65};
+  exp::SweepRunner first(sweep_options(cache, 2));
+  const auto partial = first.run(prefix);
+  EXPECT_EQ(partial.cache_misses, 4u);
+
+  // Re-running the full grid hits the prefix (same warm keys) and solves
+  // only the remaining points, warm-seeded from the cached states.
+  exp::SweepRunner second(sweep_options(cache, 2));
+  const auto resumed = second.run(est_sweep_spec());
+  EXPECT_EQ(resumed.cache_hits, 4u);
+  EXPECT_EQ(resumed.cache_misses, 4u);
+  for (std::size_t i = 0; i < resumed.results.size(); ++i) {
+    // The cached seed is bit-exact but the Newton chord is rebuilt on
+    // resume, so agreement is at polish accuracy, not bit-level.
+    EXPECT_NEAR(resumed.results[i].est_sojourn,
+                reference.results[i].est_sojourn, 1e-10)
+        << i;
+  }
+
+  // A third run is pure cache.
+  exp::SweepRunner third(sweep_options(cache, 2));
+  const auto replay = third.run(est_sweep_spec());
+  EXPECT_EQ(replay.cache_hits, 8u);
+  EXPECT_EQ(replay.cache_misses, 0u);
+  for (std::size_t i = 0; i < replay.results.size(); ++i) {
+    EXPECT_EQ(replay.results[i].est_sojourn, resumed.results[i].est_sojourn);
+  }
+}
+
+TEST(SweepRunner, MixedSimAndEstimateEntriesMergeIntoOneReport) {
+  const TempDir cache("sweep-mixed");
+  auto spec = small_spec();  // one sim+est entry, one est-only entry
+  exp::SweepRunner runner(sweep_options(cache, 2));
+  const auto report = runner.run(spec);
+
+  ASSERT_EQ(report.results.size(), 4u);
+  const auto& mixed = report.at("steal", 0.8);
+  EXPECT_TRUE(mixed.has_sim);
+  EXPECT_TRUE(mixed.has_estimate);
+  EXPECT_GT(mixed.events, 0u);
+  EXPECT_NEAR(report.sim("steal", 0.5), report.estimate("steal", 0.5), 0.25);
+
+  // Second run: every half cached, nothing simulated.
+  exp::SweepRunner again(sweep_options(cache, 2));
+  const auto warm = again.run(spec);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(warm.events_simulated, 0u);
+  EXPECT_EQ(warm.sim("steal", 0.8), report.sim("steal", 0.8));
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+// Registry-wide metamorphic properties of the fixed-point engine, guarding
+// the warm-started continuation path (core::FixedPointContinuation and the
+// ode-layer cold-start safeguard):
+//
+//   (a) warm parity   — a λ-chained warm solve agrees with the standalone
+//                       cold solve at every grid point;
+//   (b) structure     — every returned state is a valid tail family
+//                       (s_0 = 1, segment-monotone, entries in [0,1],
+//                       neglected tail mass under tolerance), warm or cold;
+//   (c) monotonicity  — mean sojourn is non-decreasing in λ;
+//   (d) closed forms  — models with analytic fixed points match them.
+//
+// Plus targeted regressions: the bistable staged-transfer hysteresis sweep
+// (a warm chain must never report a different equilibrium than the cold
+// solve), the basin-escape probe in ode::solve_fixed_point, and the chord
+// Newton workspace reuse.
+//
+// The default grids keep the suite at tier-1 speed; LSM_PROPERTIES_FULL=1
+// (the `ctest -L properties` leg of scripts/check.sh) widens the λ grids.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fixed_point.hpp"
+#include "core/no_stealing.hpp"
+#include "core/registry.hpp"
+#include "core/threshold_ws.hpp"
+#include "ode/newton.hpp"
+#include "ode/solve.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace lsm;
+
+bool full_grids() {
+  const char* v = std::getenv("LSM_PROPERTIES_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::vector<double> property_lambdas() {
+  if (full_grids()) {
+    std::vector<double> ls;
+    for (int j = 0; j < 10; ++j) ls.push_back(0.50 + 0.05 * j);
+    return ls;  // 0.50 .. 0.95
+  }
+  return {0.55, 0.75, 0.92};
+}
+
+/// Property (b): `state` is a valid truncated tail family for `model`.
+void expect_valid_tail_family(const core::MeanFieldModel& model,
+                              const ode::State& state,
+                              const std::string& context) {
+  const std::size_t segs = model.tail_segments();
+  ASSERT_EQ(state.size() % segs, 0u) << context;
+  const std::size_t seg_len = state.size() / segs;
+  // Multi-segment models pin their own heads (class fractions, in-transit
+  // totals); only the plain single-tail layout guarantees s_0 = 1.
+  if (segs == 1) {
+    EXPECT_NEAR(state[0], 1.0, 1e-12) << context << " (s_0 must be 1)";
+  }
+  for (std::size_t seg = 0; seg < segs; ++seg) {
+    for (std::size_t i = 0; i < seg_len; ++i) {
+      const double v = state[seg * seg_len + i];
+      EXPECT_GE(v, -1e-10) << context << " seg=" << seg << " i=" << i;
+      EXPECT_LE(v, 1.0 + 1e-10) << context << " seg=" << seg << " i=" << i;
+      if (i > 1) {
+        const double prev = state[seg * seg_len + i - 1];
+        EXPECT_LE(v, prev + 1e-10)
+            << context << " seg=" << seg << " i=" << i << " (tail monotone)";
+      }
+    }
+  }
+  EXPECT_LE(model.tail_mass(state), 1e-9)
+      << context << " (neglected tail mass)";
+}
+
+// Properties (a)-(c) over the whole registry: chain each model's λ grid
+// warm through a FixedPointContinuation and compare every point against
+// the standalone cold solve.
+class RegistryContinuation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegistryContinuation, WarmChainMatchesColdAndIsWellFormed) {
+  const std::string& name = core::model_names()[GetParam()];
+  const auto lambdas = property_lambdas();
+
+  core::FixedPointContinuation chain;
+  double prev_sojourn = 0.0;
+  for (std::size_t j = 0; j < lambdas.size(); ++j) {
+    const double lambda = lambdas[j];
+    const std::string ctx = name + " λ=" + std::to_string(lambda);
+
+    const auto model = core::make_model(name, lambda);
+    const auto warm = chain.solve(*model);
+    const auto cold_model = core::make_model(name, lambda);
+    const auto cold = core::solve_fixed_point(*cold_model);
+
+    // (a) Warm parity: a warm answer the cold safeguard would reject is
+    // never returned, so the two solves must describe the same fixed
+    // point. Where the Newton polish ran on both sides the answers agree
+    // to polish accuracy; a model/λ that fell back to relaxation (e.g.
+    // staged-transfer near critical load) is only relaxation-accurate,
+    // and warm-vs-cold can differ by the ladder-rung truncation gap.
+    const double warm_sojourn = model->mean_sojourn(warm.state);
+    const double cold_sojourn = cold_model->mean_sojourn(cold.state);
+    const double tol = warm.polished && cold.polished ? 1e-9 : 1e-4;
+    EXPECT_NEAR(warm_sojourn, cold_sojourn,
+                tol * std::max(1.0, std::abs(cold_sojourn)))
+        << ctx << " polished=" << warm.polished << "/" << cold.polished;
+
+    // (b) Structure of both answers.
+    expect_valid_tail_family(*model, warm.state, ctx + " warm");
+    expect_valid_tail_family(*cold_model, cold.state, ctx + " cold");
+
+    // (c) E[T] grows with load along the chain.
+    if (j > 0) {
+      EXPECT_GE(warm_sojourn, prev_sojourn - 1e-9) << ctx;
+    }
+    prev_sojourn = warm_sojourn;
+  }
+}
+
+std::string registry_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string n = core::model_names()[info.param];
+  std::replace(n.begin(), n.end(), '-', '_');
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RegistryContinuation,
+                         ::testing::Range<std::size_t>(0, 15), registry_name);
+
+TEST(RegistryContinuationMeta, CoversTheWholeRegistry) {
+  // If a 16th model is registered, widen the Range above.
+  EXPECT_EQ(core::model_names().size(), 15u);
+}
+
+// Property (d): models with closed-form fixed points. The no-stealing
+// baseline is exact (pi_i = lambda^i, E[T] = 1/(1-lambda)); the simple WS
+// and threshold models pin the exactly-known head probabilities pi_2 /
+// pi_T from the Section 2.2/2.3 quadratics. Both warm (chained) and cold
+// answers must hit them.
+TEST(ClosedForms, NoStealingMatchesMm1Exactly) {
+  core::FixedPointContinuation chain;
+  for (const double lambda : {0.5, 0.7, 0.9, 0.95}) {
+    const core::NoStealing model(lambda);
+    const auto fp = chain.solve(model);
+    EXPECT_NEAR(model.mean_sojourn(fp.state), 1.0 / (1.0 - lambda), 1e-10)
+        << lambda;
+    const auto analytic = model.analytic_fixed_point();
+    ASSERT_EQ(fp.state.size(), analytic.size());
+    for (std::size_t i = 0; i < analytic.size(); ++i) {
+      EXPECT_NEAR(fp.state[i], analytic[i], 1e-10)
+          << "lambda=" << lambda << " i=" << i;
+    }
+  }
+}
+
+TEST(ClosedForms, SimpleWsHeadProbabilityMatchesQuadratic) {
+  core::FixedPointContinuation chain;
+  for (const double lambda : {0.5, 0.7, 0.9, 0.95}) {
+    const auto model = core::make_model("simple", lambda);
+    const auto fp = chain.solve(*model);
+    EXPECT_NEAR(fp.state[2], core::simple_ws_pi2(lambda), 1e-10) << lambda;
+  }
+}
+
+TEST(ClosedForms, ThresholdHeadProbabilitiesMatchQuadratic) {
+  for (const std::size_t T : {3u, 4u}) {
+    core::FixedPointContinuation chain;
+    for (const double lambda : {0.6, 0.9}) {
+      const core::ThresholdWS model(lambda, T);
+      const auto fp = chain.solve(model);
+      EXPECT_NEAR(fp.state[T], model.analytic_pi_threshold(), 1e-10)
+          << "T=" << T << " lambda=" << lambda;
+      EXPECT_NEAR(fp.state[2], model.analytic_pi2(), 1e-10)
+          << "T=" << T << " lambda=" << lambda;
+    }
+  }
+}
+
+// Bistable continuation regression. The truncated staged-transfer model
+// with many stages (c = 8) has a spurious low-congestion equilibrium at
+// high load that Anderson acceleration can land on; relaxation from the
+// empty state finds the physical one. A warm chain sweeping λ up and back
+// down passes near-converged high-λ states into neighbouring solves —
+// exactly the setup that would parade the spurious equilibrium through
+// the whole descending branch if the ode-layer safeguard (failed-warm →
+// cold re-run, basin probe) did not hold. Every point must agree with the
+// standalone cold solve. (This model falls back to relaxation, so parity
+// is at relaxation accuracy, not polish accuracy.)
+TEST(BistableContinuation, StagedTransferUpDownSweepMatchesCold) {
+  std::vector<double> lambdas;
+  if (full_grids()) {
+    for (int j = 0; j <= 9; ++j) lambdas.push_back(0.50 + 0.05 * j);
+    for (int j = 8; j >= 0; --j) lambdas.push_back(0.50 + 0.05 * j);
+  } else {
+    lambdas = {0.70, 0.85, 0.95, 0.85, 0.70};
+  }
+  const core::ModelParams params = {{"r", 0.25}, {"c", 8}, {"T", 4}};
+
+  core::FixedPointContinuation chain;
+  for (const double lambda : lambdas) {
+    const auto model = core::make_model("staged-transfer", lambda, params);
+    const auto warm = chain.solve(*model);
+    const auto cold_model =
+        core::make_model("staged-transfer", lambda, params);
+    const auto cold = core::solve_fixed_point(*cold_model);
+    const double ws = model->mean_sojourn(warm.state);
+    const double cs = cold_model->mean_sojourn(cold.state);
+    EXPECT_NEAR(ws, cs, 1e-4 * std::max(1.0, std::abs(cs)))
+        << "lambda=" << lambda;
+  }
+}
+
+/// 1-D cubic flow with stable equilibria at 0.2 and 0.8 and an unstable
+/// one at 0.5: ds/dt = -(s - 0.2)(s - 0.5)(s - 0.8).
+struct CubicFlow final : ode::OdeSystem {
+  [[nodiscard]] std::size_t dimension() const override { return 1; }
+  void deriv(double, const ode::State& s, ode::State& ds) const override {
+    ds[0] = -(s[0] - 0.2) * (s[0] - 0.5) * (s[0] - 0.8);
+  }
+};
+
+// The basin probe itself: from a warm start at 0.52, Anderson happily
+// converges to the root at 0.5 — but the actual flow from 0.52 runs AWAY
+// from it (0.5 is unstable), so the probe must reject the warm answer and
+// the cold path from 0.1 must deliver the stable equilibrium at 0.2.
+TEST(BasinProbe, RejectsFlowUnstableWarmAnswer) {
+  const CubicFlow sys;
+  ode::FixedPointSolveOptions opts;
+  opts.method = ode::FixedPointMethod::Anderson;
+  opts.cold_start = {0.1};
+  opts.basin_check_dist = 1e-3;  // the move 0.52 -> 0.5 must be probed
+  const auto r = ode::solve_fixed_point(sys, {0.52}, opts);
+  EXPECT_TRUE(r.warm_rejected);
+  EXPECT_NEAR(r.state[0], 0.2, 1e-8);
+
+  // Without the safeguard fields the same call happily returns the
+  // unstable root — the behaviour cold solves rely on staying unchanged.
+  ode::FixedPointSolveOptions plain;
+  plain.method = ode::FixedPointMethod::Anderson;
+  const auto unguarded = ode::solve_fixed_point(sys, {0.52}, plain);
+  EXPECT_FALSE(unguarded.warm_rejected);
+  EXPECT_NEAR(unguarded.state[0], 0.5, 1e-8);
+}
+
+// A warm solve that stays local (moved <= basin_check_dist) skips the
+// probe and keeps its answer.
+TEST(BasinProbe, LocalWarmAnswerIsAcceptedWithoutProbe) {
+  const CubicFlow sys;
+  ode::FixedPointSolveOptions opts;
+  opts.method = ode::FixedPointMethod::Anderson;
+  opts.cold_start = {0.1};
+  opts.basin_check_dist = 0.05;
+  const auto r = ode::solve_fixed_point(sys, {0.21}, opts);
+  EXPECT_FALSE(r.warm_rejected);
+  EXPECT_NEAR(r.state[0], 0.2, 1e-8);
+}
+
+/// Mildly nonlinear n-D system f_i(s) = cos(s_i)/(i+2) - s_i with one
+/// well-conditioned root per coordinate; Jacobian ~ -I, so a chord from a
+/// nearby factorization contracts fast.
+struct CosineSystem final : ode::OdeSystem {
+  [[nodiscard]] std::size_t dimension() const override { return 6; }
+  void deriv(double, const ode::State& s, ode::State& ds) const override {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      ds[i] = std::cos(s[i]) / static_cast<double>(i + 2) - s[i];
+    }
+  }
+};
+
+// Chord reuse: the second solve of a continuation pair must converge with
+// ZERO fresh Jacobian assemblies (pure chord steps on the previous
+// factorization) and still land on the same root as the classic path.
+TEST(NewtonWorkspace, SecondSolveReusesTheFactorization) {
+  const CosineSystem sys;
+  const ode::State start(6, 0.3);
+
+  ode::NewtonWorkspace ws;
+  const auto first = ode::newton_fixed_point(sys, start, {}, &ws);
+  ASSERT_TRUE(first.converged);
+  EXPECT_GE(first.jacobian_builds, 1u);
+  EXPECT_TRUE(ws.holds(6));
+
+  // Perturb the root slightly, as the next λ of a sweep would.
+  ode::State nearby = first.state;
+  for (auto& v : nearby) v += 1e-3;
+  const auto second = ode::newton_fixed_point(sys, nearby, {}, &ws);
+  EXPECT_TRUE(second.converged);
+  EXPECT_EQ(second.jacobian_builds, 0u) << "expected pure chord steps";
+
+  const auto classic = ode::newton_fixed_point(sys, nearby, {});
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(second.state[i], classic.state[i], 1e-12) << i;
+  }
+
+  // A dimension change invalidates the workspace instead of misusing it.
+  EXPECT_FALSE(ws.holds(5));
+  ws.reset();
+  EXPECT_FALSE(ws.holds(6));
+}
+
+}  // namespace
