@@ -5,13 +5,20 @@
 // newly registered model (and its parameters) shows up here untouched.
 //
 //   ./model_cli <model> [--lambda=0.9] [--<param>=..] [--tails=16]
-//               [--solver=auto|relax|stiff|anderson] [--csv] [--json]
+//               [--solver=auto|relax|stiff|anderson] [--max-evals=N]
+//               [--max-seconds=S] [--csv] [--json]
 //   ./model_cli --list
+//
+// Failures (unknown model, bad flag, solver divergence or an exhausted
+// --max-evals/--max-seconds budget) exit nonzero; with --json they emit a
+// structured {"error": {"kind", "message"}} document so scripted callers
+// can branch on the failure kind instead of scraping stderr.
 #include <chrono>
 #include <iostream>
 
 #include "core/registry.hpp"
 #include "lsm.hpp"
+#include "util/failure.hpp"
 
 namespace {
 
@@ -32,23 +39,24 @@ int main(int argc, char** argv) {
   const lsm::util::Args args(argc, argv);
   if (args.flag("list") || args.positional().empty()) {
     std::cout << "usage: model_cli <model> [--lambda=0.9] [--<param>=value] "
-                 "[--tails=16] [--solver=auto|relax|stiff|anderson] [--csv] "
-                 "[--json]\n";
+                 "[--tails=16] [--solver=auto|relax|stiff|anderson] "
+                 "[--max-evals=N] [--max-seconds=S] [--csv] [--json]\n";
     print_model_list();
     return args.flag("list") ? 0 : 1;
   }
 
   const std::string name = args.positional().front();
-  const double lambda = args.get("lambda", 0.9);
 
   try {
+    const double lambda = args.get("lambda", 0.9);
     // Accept exactly the parameters the chosen model declares; reject
     // anything else so a mistyped flag cannot be silently ignored.
     const auto& spec = lsm::core::model_spec(name);
     lsm::core::ModelParams params;
     for (const auto& key : args.keys()) {
       if (key == "lambda" || key == "tails" || key == "csv" || key == "json" ||
-          key == "list" || key == "solver") {
+          key == "list" || key == "solver" || key == "max-evals" ||
+          key == "max-seconds") {
         continue;
       }
       if (!spec.accepts(key)) {
@@ -62,6 +70,9 @@ int main(int argc, char** argv) {
     lsm::core::FixedPointOptions fp_opts;
     fp_opts.method =
         lsm::ode::parse_fixed_point_method(args.get("solver", "auto"));
+    fp_opts.max_rhs_evals =
+        static_cast<std::size_t>(args.get("max-evals", 0L));
+    fp_opts.max_wall_seconds = args.get("max-seconds", 0.0);
     const auto t0 = std::chrono::steady_clock::now();
     const auto fp = lsm::core::solve_fixed_point(*model, fp_opts);
     const double wall_seconds =
@@ -139,7 +150,19 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    const lsm::util::Failure f = lsm::util::classify_exception(e);
+    if (args.flag("json")) {
+      auto doc = lsm::util::Json::object();
+      auto err = lsm::util::Json::object();
+      err["kind"] = lsm::util::to_string(f.kind);
+      err["message"] = f.message;
+      if (!f.context.empty()) err["context"] = f.context;
+      doc["error"] = std::move(err);
+      std::cout << doc.dump(2) << "\n";
+    } else {
+      std::cerr << "error [" << lsm::util::to_string(f.kind)
+                << "]: " << f.describe() << "\n";
+    }
     return 1;
   }
   return 0;

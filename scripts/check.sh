@@ -9,6 +9,7 @@
 #   SKIP_UBSAN=1 scripts/check.sh  # skip the UB-sanitizer pass
 #   SKIP_PERF=1 scripts/check.sh   # skip the perf smokes
 #   SKIP_PROPERTIES=1 scripts/check.sh  # skip the full-grid property pass
+#   SKIP_FAULTS=1 scripts/check.sh # skip the fault-injection leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,14 +29,41 @@ if [ "${SKIP_PROPERTIES:-0}" != "1" ]; then
     -j "$jobs" -L properties
 fi
 
+if [ "${SKIP_FAULTS:-0}" != "1" ]; then
+  # Degrade-don't-die: the fault-injection suite, then a whole table bench
+  # run under an armed injector in report mode — the table must still
+  # render (with holes for the failed jobs) and the process must exit 0 —
+  # and a budget-exhausted model_cli must fail with a structured JSON
+  # error instead of looping.
+  echo "== faults: injection suite + degraded table render + CLI budget error"
+  ./build/tests/test_fault_injection
+  fault_tmp="$(mktemp -d)"
+  trap 'rm -rf "$fault_tmp"' EXIT
+  LSM_FAULT_SEED=20260807 LSM_FAULT_PROFILE="io=0.1,job=0.5,slow=0.2" \
+    LSM_ON_FAILURE=report \
+    LSM_CACHE_DIR="$fault_tmp/cache" LSM_ARTIFACTS="$fault_tmp/artifacts" \
+    ./build/bench/table1_simple_ws | tee "$fault_tmp/table1.out"
+  grep -q "lambda" "$fault_tmp/table1.out"
+  if ./build/examples/model_cli simple --lambda=0.97 --max-evals=40 \
+      --json > "$fault_tmp/cli.json"; then
+    echo "model_cli should have failed under an exhausted budget" >&2
+    exit 1
+  fi
+  grep -q '"error"' "$fault_tmp/cli.json"
+  grep -q '"kind": "solver-budget"' "$fault_tmp/cli.json"
+fi
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "== tsan: work-stealing pool + runner determinism under -fsanitize=thread"
   cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_parallel test_exp_runner
+  cmake --build build-tsan -j "$jobs" \
+    --target test_parallel test_exp_runner test_fault_injection
   ./build-tsan/tests/test_parallel
   ./build-tsan/tests/test_exp_runner \
     --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable:SweepRunner.ManifestIsIdenticalAcrossPoolWidths:SweepRunner.MixedSimAndEstimateEntriesMergeIntoOneReport'
+  # Faulted runs add retry/backoff + failure merging on the pool paths.
+  ./build-tsan/tests/test_fault_injection --gtest_filter='FaultRunner.*:FaultSweep.*'
 fi
 
 if [ "${SKIP_UBSAN:-0}" != "1" ]; then

@@ -1,15 +1,24 @@
 #include "core/fixed_point.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "ode/newton.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
+#include "util/fault_injection.hpp"
+#include "util/json.hpp"
 
 namespace lsm::core {
 
 namespace {
+
+double since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// Adapter presenting the model's root_residual as an OdeSystem so the
 /// generic Newton solver can drive it.
@@ -59,11 +68,23 @@ std::string solve_label(const MeanFieldModel& model) {
 /// and tail-mass estimates, so relax_tol accuracy is plenty.
 ode::FixedPointSolveResult iterate(const MeanFieldModel& model, ode::State s0,
                                    const FixedPointOptions& opts,
+                                   std::size_t spent_evals, double elapsed,
                                    bool loose = false,
                                    bool relax_fallback = true,
                                    bool warm = false) {
   ode::FixedPointSolveOptions sopts;
   sopts.method = opts.method;
+  sopts.throw_on_failure = opts.throw_on_failure;
+  // Hand each rung only what is left of the ladder-wide budget (never 0,
+  // the unlimited sentinel: a fully spent budget fails fast downstream).
+  if (opts.max_rhs_evals != 0) {
+    sopts.max_rhs_evals = opts.max_rhs_evals > spent_evals
+                              ? opts.max_rhs_evals - spent_evals
+                              : 1;
+  }
+  if (opts.max_wall_seconds > 0.0) {
+    sopts.max_wall_seconds = std::max(opts.max_wall_seconds - elapsed, 1e-9);
+  }
   sopts.stiff_bandwidth = model.stiff_bandwidth();
   sopts.tol = loose ? opts.relax_tol : std::min(opts.relax_tol, 1e-10);
   // Warm continuation solves with a Newton polish downstream stop the
@@ -98,6 +119,18 @@ void accumulate(FixedPointResult& result,
   result.iterations += rung.iterations;
   result.relax_time += rung.relax_time;
   result.fellback = result.fellback || rung.fellback;
+  result.status = rung.status;
+  result.failure = std::move(rung.failure);
+}
+
+/// Finalizes an early (non-Converged) return: the state fields describe
+/// the best iterate at the rung where the ladder stopped. Any armed
+/// TruncationGuard still restores the model itself on unwind.
+FixedPointResult finish_failed(FixedPointResult&& result, std::size_t rung) {
+  result.final_truncation = rung;
+  result.state_truncation = rung;
+  result.compact_state = result.state;
+  return std::move(result);
 }
 
 void polish(const MeanFieldModel& model, FixedPointResult& result,
@@ -125,6 +158,7 @@ void polish(const MeanFieldModel& model, FixedPointResult& result,
 /// polished (with the chain's Newton chord when supplied).
 FixedPointResult solve_warm(const MeanFieldModel& model,
                             const FixedPointOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
   TruncationGuard guard(model);
   const std::size_t cap = std::max(guard.original(), model.min_truncation());
   const bool adaptive =
@@ -166,10 +200,14 @@ FixedPointResult solve_warm(const MeanFieldModel& model,
   }
   model.project(start);  // clean up the grafted extension
 
-  auto first = iterate(model, std::move(start), opts, /*loose=*/false,
-                       /*relax_fallback=*/true, /*warm=*/true);
+  auto first = iterate(model, std::move(start), opts, 0, since(t0),
+                       /*loose=*/false, /*relax_fallback=*/true,
+                       /*warm=*/true);
   result.warm = !first.warm_rejected;
   accumulate(result, std::move(first));
+  if (result.status != ode::SolveStatus::Converged) {
+    return finish_failed(std::move(result), rung);
+  }
 
   // The tight solve can reveal tail mass the inherited profile had not
   // built up: grow and re-solve (still warm, still safeguarded).
@@ -179,8 +217,13 @@ FixedPointResult solve_warm(const MeanFieldModel& model,
     model.set_truncation(next);
     ode::State s = model.resized_tail_state(result.state, rung);
     rung = next;
-    accumulate(result, iterate(model, std::move(s), opts, /*loose=*/false,
-                               /*relax_fallback=*/true, /*warm=*/true));
+    accumulate(result,
+               iterate(model, std::move(s), opts, result.rhs_evals, since(t0),
+                       /*loose=*/false, /*relax_fallback=*/true,
+                       /*warm=*/true));
+    if (result.status != ode::SolveStatus::Converged) {
+      return finish_failed(std::move(result), rung);
+    }
   }
 
   // The chord workspace only serves genuinely warm chains: a rejected warm
@@ -210,6 +253,28 @@ FixedPointResult solve_warm(const MeanFieldModel& model,
 
 FixedPointResult solve_fixed_point(const MeanFieldModel& model,
                                    const FixedPointOptions& opts) {
+  if (const auto& injector = util::FaultInjector::instance();
+      injector.armed()) {
+    // One decision per solve, taken before any work so injected failures
+    // leave no half-updated model/continuation state behind. The context
+    // is truncation-independent so tests can predict it cheaply.
+    const std::string context =
+        "model=" + model.name() +
+        " lambda=" + util::Json::number_to_string(model.lambda());
+    if (injector.should_fail(util::FaultSite::SolverDiverge, context)) {
+      util::Failure f;
+      f.kind = util::FailureKind::SolverDiverged;
+      f.message = "injected solver divergence";
+      f.context = context;
+      if (opts.throw_on_failure) throw util::FailureError(std::move(f));
+      FixedPointResult failed;
+      failed.status = ode::SolveStatus::Diverged;
+      failed.failure = f.describe();
+      return failed;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
   if (!opts.warm_state.empty()) {
     LSM_EXPECT(opts.warm_truncation > 0,
                "warm_state supplied without warm_truncation");
@@ -226,7 +291,10 @@ FixedPointResult solve_fixed_point(const MeanFieldModel& model,
 
   FixedPointResult result;
   if (!adaptive) {
-    accumulate(result, iterate(model, model.empty_state(), opts));
+    accumulate(result, iterate(model, model.empty_state(), opts, 0, since(t0)));
+    if (result.status != ode::SolveStatus::Converged) {
+      return finish_failed(std::move(result), model.truncation());
+    }
     polish(model, result, opts);
     result.final_truncation = model.truncation();
     result.state_truncation = model.truncation();
@@ -249,14 +317,19 @@ FixedPointResult solve_fixed_point(const MeanFieldModel& model,
     // the previous truncation can be structurally far from this rung's),
     // and a cold restart is orders of magnitude cheaper than relaxation.
     auto rung_result =
-        iterate(model, std::move(start), opts, /*loose=*/true,
-                /*relax_fallback=*/cold);
-    if (rung_result.fellback && rung_result.residual > opts.relax_tol) {
+        iterate(model, std::move(start), opts, result.rhs_evals, since(t0),
+                /*loose=*/true, /*relax_fallback=*/cold);
+    if (rung_result.status == ode::SolveStatus::Converged &&
+        rung_result.fellback && rung_result.residual > opts.relax_tol) {
       result.rhs_evals += rung_result.rhs_evals;
       result.iterations += rung_result.iterations;
-      rung_result = iterate(model, model.empty_state(), opts, /*loose=*/true);
+      rung_result = iterate(model, model.empty_state(), opts,
+                            result.rhs_evals, since(t0), /*loose=*/true);
     }
     accumulate(result, std::move(rung_result));
+    if (result.status != ode::SolveStatus::Converged) {
+      return finish_failed(std::move(result), rung);
+    }
     const bool resolved =
         model.tail_mass(result.state) <= opts.tail_tol || rung >= cap;
     if (resolved) {
@@ -264,7 +337,11 @@ FixedPointResult solve_fixed_point(const MeanFieldModel& model,
       // iterations on top of the loose solve. The tight solve can reveal
       // tail mass the loose one had not yet built up, so re-check before
       // accepting the rung as final.
-      accumulate(result, iterate(model, std::move(result.state), opts));
+      accumulate(result, iterate(model, std::move(result.state), opts,
+                                 result.rhs_evals, since(t0)));
+      if (result.status != ode::SolveStatus::Converged) {
+        return finish_failed(std::move(result), rung);
+      }
       if (model.tail_mass(result.state) <= opts.tail_tol || rung >= cap) break;
     }
     const std::size_t next = std::min(cap, 2 * rung);
@@ -310,7 +387,17 @@ FixedPointResult FixedPointContinuation::solve(const MeanFieldModel& model,
     opts.warm_truncation = truncation_;
     opts.newton_reuse = &newton_;
   }
-  FixedPointResult result = core::solve_fixed_point(model, opts);
+  FixedPointResult result;
+  try {
+    result = core::solve_fixed_point(model, opts);
+  } catch (...) {
+    reset();  // carried state is suspect after any failure
+    throw;
+  }
+  if (result.status != ode::SolveStatus::Converged) {
+    reset();
+    return result;
+  }
   state_ = result.compact_state;
   truncation_ = result.final_truncation;
   return result;

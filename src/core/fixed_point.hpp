@@ -78,6 +78,15 @@ struct FixedPointOptions {
   /// ode::NewtonWorkspace). Only consulted on warm solves; cold solves
   /// always polish with the classic fresh-Jacobian iteration.
   ode::NewtonWorkspace* newton_reuse = nullptr;
+  /// Optional budgets across the whole ladder (0 = unlimited); the
+  /// remainder is threaded into every rung solve. Exhaustion fails the
+  /// solve with ode::SolveStatus::BudgetExhausted. The Newton polish is
+  /// not budget-checked — it is a bounded handful of evaluations.
+  std::size_t max_rhs_evals = 0;
+  double max_wall_seconds = 0.0;
+  /// Failures throw util::FailureError by default; set false to get a
+  /// best-effort result with status/failure filled in instead.
+  bool throw_on_failure = true;
 };
 
 struct FixedPointResult {
@@ -108,10 +117,17 @@ struct FixedPointResult {
   /// A warm start was supplied and actually used (no divergence/basin
   /// rejection forced the cold path).
   bool warm = false;
+  /// Converged unless a rung hard-failed (diverged / budget exhausted);
+  /// only observable with throw_on_failure=false. On failure the state
+  /// fields hold the best iterate at final_truncation.
+  ode::SolveStatus status = ode::SolveStatus::Converged;
+  std::string failure;  ///< human-readable reason when status != Converged
 };
 
-/// Computes the fixed point of `model`. Throws util::Error when no
-/// applicable path converges (see ode::solve_fixed_point).
+/// Computes the fixed point of `model`. When no applicable path
+/// converges (see ode::solve_fixed_point) throws util::FailureError (a
+/// util::Error subclass), or — with opts.throw_on_failure=false —
+/// returns the best iterate with status/failure describing the problem.
 [[nodiscard]] FixedPointResult solve_fixed_point(
     const MeanFieldModel& model, const FixedPointOptions& opts = {});
 
@@ -124,6 +140,9 @@ struct FixedPointResult {
 /// a chord) when one is available, and updates the carried state from the
 /// result. The first call — or the first after reset() — runs the ordinary
 /// cold path, byte-identical to a standalone core::solve_fixed_point.
+/// A failed solve (thrown, or status != Converged) resets the chain: the
+/// carried state is no longer trustworthy, so the next call cold-restarts
+/// instead of propagating a suspect warm start down the sweep.
 /// Intended usage: one continuation per (model family, ordered λ grid);
 /// consecutive models must share the same state layout (tail segments).
 class FixedPointContinuation {

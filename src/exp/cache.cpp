@@ -4,17 +4,22 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
+#include "exp/spec.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
+#include "util/fault_injection.hpp"
 #include "util/json.hpp"
 
 namespace lsm::exp {
 
 namespace {
 
-constexpr const char* kMagic = "lsm-job 2";
+constexpr const char* kMagic = "lsm-job 3";
+constexpr const char* kFooterTag = "end ";
 
 void put(std::string& out, const char* name, double v) {
   out += name;
@@ -59,6 +64,21 @@ bool parse_double(std::istringstream& in, double& v) {
   return std::from_chars(tok.data(), end, v).ptr == end;
 }
 
+/// Splits `content` into payload (magic + field lines) and verifies the
+/// trailing "end <hash>" footer covers it. Returns false on any layout
+/// or checksum mismatch — the caller quarantines.
+bool check_footer(const std::string& content, std::string& payload) {
+  // The footer is the last line; field names never start with "end ".
+  const std::size_t foot = content.rfind(std::string("\n") + kFooterTag);
+  if (foot == std::string::npos) return false;
+  payload = content.substr(0, foot + 1);  // keep the terminating '\n'
+  std::string footer = content.substr(foot + 1);
+  if (footer.empty() || footer.back() != '\n') return false;  // truncated
+  footer.pop_back();
+  if (footer.find('\n') != std::string::npos) return false;  // not last line
+  return footer == kFooterTag + content_hash(payload);
+}
+
 }  // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
@@ -68,17 +88,52 @@ std::string ResultCache::default_dir() {
   return ".lsm-cache";
 }
 
+void ResultCache::quarantine(const std::string& path) const {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  if (ec) {
+    // Renaming failed (e.g. read-only dir entry race): fall back to
+    // removing, so the corrupt entry cannot be re-read forever.
+    std::filesystem::remove(path, ec);
+    if (ec) return;
+  }
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool ResultCache::load(const std::string& key, JobResult& out) const {
   if (!enabled()) return false;
-  const auto path = std::filesystem::path(dir_) / (key + ".job");
-  std::ifstream file(path);
-  if (!file) return false;
+  const auto& injector = util::FaultInjector::instance();
+  if (injector.armed() &&
+      injector.should_fail(util::FaultSite::CacheLoad, key)) {
+    return false;  // injected read fault degrades to a miss (recompute)
+  }
+  const auto path = (std::filesystem::path(dir_) / (key + ".job")).string();
+  std::string content;
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return false;
+    content.assign(std::istreambuf_iterator<char>(file),
+                   std::istreambuf_iterator<char>());
+    if (file.bad()) return false;
+  }  // closed before any quarantine rename below
 
-  std::string line;
-  if (!std::getline(file, line) || line != kMagic) return false;
+  const std::string magic_line = std::string(kMagic) + "\n";
+  if (content.rfind(magic_line, 0) != 0) {
+    // A well-formed header from another format version is an ordinary
+    // miss (stale cache dir); anything else is a corrupt file.
+    if (content.rfind("lsm-job ", 0) != 0) quarantine(path);
+    return false;
+  }
+  std::string payload;
+  if (!check_footer(content, payload)) {
+    quarantine(path);
+    return false;
+  }
 
+  std::istringstream body(payload.substr(magic_line.size()));
   JobResult r;
-  while (std::getline(file, line)) {
+  std::string line;
+  while (std::getline(body, line)) {
     std::istringstream in(line);
     std::string name;
     if (!(in >> name)) continue;
@@ -134,7 +189,10 @@ bool ResultCache::load(const std::string& key, JobResult& out) const {
     } else if (name == "events") {
       ok = static_cast<bool>(in >> r.events);
     }  // unknown names are skipped for forward compatibility
-    if (!ok) return false;
+    if (!ok) {
+      quarantine(path);
+      return false;
+    }
   }
 
   // Keep the caller's identity/observability fields.
@@ -149,10 +207,27 @@ bool ResultCache::load(const std::string& key, JobResult& out) const {
 
 void ResultCache::store(const std::string& key, const JobResult& r) const {
   if (!enabled()) return;
+  const auto& injector = util::FaultInjector::instance();
+  if (injector.armed() &&
+      injector.should_fail(util::FaultSite::CacheStore, key)) {
+    util::Failure f;
+    f.kind = util::FailureKind::Io;
+    f.message = "injected cache-store fault";
+    f.context = "cache key " + key;
+    f.retryable = true;
+    throw util::FailureError(std::move(f));
+  }
   namespace fs = std::filesystem;
+  const auto io_failure = [](std::string message) {
+    util::Failure f;
+    f.kind = util::FailureKind::Io;
+    f.message = std::move(message);
+    f.retryable = true;
+    return util::FailureError(std::move(f));
+  };
   std::error_code ec;
   fs::create_directories(dir_, ec);
-  if (ec) throw util::Error("cannot create cache dir " + dir_);
+  if (ec) throw io_failure("cannot create cache dir " + dir_);
 
   std::string out(kMagic);
   out += '\n';
@@ -183,16 +258,32 @@ void ResultCache::store(const std::string& key, const JobResult& r) const {
     put(out, "message_rate", r.message_rate);
   }
   put(out, "events", r.events);
+  // Integrity footer: load() rejects (and quarantines) anything whose
+  // trailing hash does not match, so a write truncated at a line
+  // boundary can no longer reload as a silently field-less entry.
+  const std::string digest = content_hash(out);
+  out += kFooterTag;
+  out += digest;
+  out += '\n';
 
   const auto path = fs::path(dir_) / (key + ".job");
   const auto tmp = fs::path(dir_) / (key + ".tmp");
   {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) throw util::Error("cannot write cache entry " + tmp.string());
+    std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
+    if (!file) throw io_failure("cannot write cache entry " + tmp.string());
     file << out;
+    file.flush();
+    if (!file) {
+      fs::remove(tmp, ec);
+      throw io_failure("cannot write cache entry " + tmp.string());
+    }
   }
   fs::rename(tmp, path, ec);
-  if (ec) throw util::Error("cannot publish cache entry " + path.string());
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw io_failure("cannot publish cache entry " + path.string());
+  }
 }
 
 }  // namespace lsm::exp

@@ -4,11 +4,18 @@
 // changed. Entries are written atomically (tmp file + rename) so
 // concurrent runs sharing a cache directory never observe partial files.
 //
-// Layout: <dir>/<16-hex-key>.job — "lsm-job 1" magic line followed by
-// `name value...` lines (doubles in shortest round-trip form, so a cache
-// round-trip reproduces results bit-for-bit).
+// Layout: <dir>/<16-hex-key>.job — "lsm-job 3" magic line, `name
+// value...` lines (doubles in shortest round-trip form, so a cache
+// round-trip reproduces results bit-for-bit), and a final "end <hash>"
+// integrity footer whose hash covers everything above it. An entry
+// missing or failing the footer (truncated write, bit rot, tampering) is
+// QUARANTINED — renamed to <key>.job.quarantined for inspection — and
+// reported as a miss, so one bad file costs one recompute, not a
+// silently wrong table or an eternal recompute loop.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "exp/result.hpp"
@@ -27,16 +34,27 @@ class ResultCache {
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
 
   /// Loads the entry for `key` into `out` (outputs only; identity and
-  /// observability fields are left untouched). Returns false on a miss or
-  /// an unreadable/corrupt entry.
+  /// observability fields are left untouched). Returns false on a miss,
+  /// an entry from another format version, or a corrupt entry (which is
+  /// quarantined as a side effect).
   bool load(const std::string& key, JobResult& out) const;
 
   /// Persists the outputs of `result` under `key`. Creates the cache
-  /// directory on first use.
+  /// directory on first use. I/O trouble throws util::FailureError with
+  /// FailureKind::Io (retryable) — callers that can recompute should
+  /// downgrade it to a warning, a lost cache entry only costs time.
   void store(const std::string& key, const JobResult& result) const;
 
+  /// Corrupt entries renamed aside by load() so far (observability).
+  [[nodiscard]] std::uint64_t quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void quarantine(const std::string& path) const;
+
   std::string dir_;
+  mutable std::atomic<std::uint64_t> quarantined_{0};
 };
 
 }  // namespace lsm::exp

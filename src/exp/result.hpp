@@ -12,11 +12,23 @@
 
 namespace lsm::exp {
 
+enum class JobStatus {
+  Ok,      ///< job produced its outputs (possibly from the cache)
+  Failed,  ///< job failed after retries; error/error_kind describe why
+};
+
 struct JobResult {
   // Identity (filled from the Job, never from the cache).
   std::string label;
   double lambda = 0.0;
   std::string key;
+
+  // Outcome. Failed results carry no outputs (has_estimate/has_sim stay
+  // false) and are never cached; error_kind is a util::FailureKind slug.
+  JobStatus status = JobStatus::Ok;
+  std::string error;
+  std::string error_kind;
+  std::uint32_t attempts = 1;  ///< executions including retries
 
   // ODE fixed-point estimate.
   bool has_estimate = false;

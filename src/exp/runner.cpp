@@ -1,17 +1,24 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/fixed_point.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/replicate.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
+#include "util/fault_injection.hpp"
 
 namespace lsm::exp {
 
@@ -20,6 +27,15 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// λ equality within a few ulps, so grid arithmetic (0.1 * 9) still finds
+/// the 0.9 job while adjacent grid points (≥ 1e-3 apart in practice)
+/// never alias.
+bool lambda_matches(double a, double b) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  return std::abs(a - b) <=
+         4.0 * eps * std::max(std::abs(a), std::abs(b));
 }
 
 std::string format_rate(double v) {
@@ -51,7 +67,32 @@ std::string RunnerOptions::default_artifact_dir() {
   return ".lsm-artifacts";
 }
 
-JobResult execute_job(const Job& job, core::FixedPointContinuation* chain) {
+OnFailure RunnerOptions::default_on_failure() {
+  if (const char* v = std::getenv("LSM_ON_FAILURE")) {
+    if (std::string(v) == "report") return OnFailure::Report;
+  }
+  return OnFailure::Abort;
+}
+
+JobResult execute_job(const Job& job, core::FixedPointContinuation* chain,
+                      std::uint64_t attempt) {
+  {
+    const auto& injector = util::FaultInjector::instance();
+    if (injector.armed()) {
+      const std::string ctx = job.fault_context();
+      if (const double d = injector.injected_delay(ctx, attempt); d > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(d));
+      }
+      if (injector.should_fail(util::FaultSite::JobFault, ctx, attempt)) {
+        util::Failure f;
+        f.kind = util::FailureKind::JobFault;
+        f.message = "injected job fault";
+        f.context = ctx;
+        f.retryable = true;
+        throw util::FailureError(std::move(f));
+      }
+    }
+  }
   JobResult r;
   r.label = job.label;
   r.lambda = job.lambda;
@@ -129,16 +170,20 @@ RunReport Runner::run(const ExperimentSpec& spec) {
       par::parallel_map(*pool, report.jobs.size(), [&](std::size_t i) {
         const Job& job = report.jobs[i];
         const auto job_t0 = std::chrono::steady_clock::now();
-        JobResult r;
-        r.label = job.label;
-        r.lambda = job.lambda;
-        r.key = job.key();
-        if (cache.load(r.key, r)) {
-          r.cache_hit = true;
-        } else {
-          r = execute_job(job);
-          cache.store(r.key, r);
-        }
+        JobResult r = detail::run_isolated(
+            job, opts_.on_failure, opts_.retry, [&](std::uint64_t attempt) {
+              JobResult out;
+              out.label = job.label;
+              out.lambda = job.lambda;
+              out.key = job.key();
+              if (cache.load(out.key, out)) {
+                out.cache_hit = true;
+              } else {
+                out = execute_job(job, nullptr, attempt);
+                detail::store_quietly(cache, out.key, out);
+              }
+              return out;
+            });
         r.wall_seconds = seconds_since(job_t0);
         return r;
       });
@@ -148,10 +193,101 @@ RunReport Runner::run(const ExperimentSpec& spec) {
   return report;
 }
 
+JobResult detail::run_isolated(
+    const Job& job, OnFailure on_failure, const RetryPolicy& retry,
+    const std::function<JobResult(std::uint64_t)>& fn) {
+  const std::size_t max_attempts = std::max<std::size_t>(retry.max_attempts, 1);
+  double backoff = retry.initial_backoff_seconds;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      JobResult r = fn(attempt);
+      r.attempts = static_cast<std::uint32_t>(attempt);
+      return r;
+    } catch (const std::exception& e) {
+      util::Failure f = util::classify_exception(e);
+      if (f.context.empty()) f.context = job.fault_context();
+      if (f.retryable && attempt < max_attempts) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * retry.backoff_multiplier,
+                           retry.max_backoff_seconds);
+        continue;
+      }
+      if (on_failure == OnFailure::Abort) {
+        f.message += " (job " + job.label +
+                     " lambda=" + util::Json::number_to_string(job.lambda) +
+                     ", attempt " + std::to_string(attempt) + ")";
+        throw util::FailureError(std::move(f));
+      }
+      JobResult r;
+      r.label = job.label;
+      r.lambda = job.lambda;
+      r.key = job.key();
+      r.status = JobStatus::Failed;
+      r.error = f.describe();
+      r.error_kind = util::to_string(f.kind);
+      r.attempts = static_cast<std::uint32_t>(attempt);
+      return r;
+    }
+  }
+}
+
+void detail::store_quietly(const ResultCache& cache, const std::string& key,
+                           const JobResult& result) {
+  try {
+    cache.store(key, result);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: cache store failed for " << key << ": " << e.what()
+              << "\n";
+  }
+}
+
+void detail::write_atomic(const std::string& path,
+                          const std::string& contents) {
+  const auto& injector = util::FaultInjector::instance();
+  if (injector.armed() &&
+      injector.should_fail(util::FaultSite::ArtifactWrite, path)) {
+    util::Failure f;
+    f.kind = util::FailureKind::Io;
+    f.message = "injected artifact-write fault";
+    f.context = path;
+    f.retryable = true;
+    throw util::FailureError(std::move(f));
+  }
+  namespace fs = std::filesystem;
+  const auto io_failure = [&path](const char* what) {
+    util::Failure f;
+    f.kind = util::FailureKind::Io;
+    f.message = std::string(what) + " " + path;
+    f.retryable = true;
+    return util::FailureError(std::move(f));
+  };
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
+    if (!file) throw io_failure("cannot write");
+    file << contents;
+    file.flush();
+    if (!file) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw io_failure("cannot write");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw io_failure("cannot publish");
+  }
+}
+
 void detail::finalize_report(RunReport& report,
                              const std::string& artifact_dir) {
   for (const auto& r : report.results) {
-    if (r.cache_hit) {
+    if (r.status == JobStatus::Failed) {
+      ++report.failed_jobs;
+    } else if (r.cache_hit) {
       ++report.cache_hits;
     } else {
       ++report.cache_misses;
@@ -160,30 +296,43 @@ void detail::finalize_report(RunReport& report,
   }
 
   if (!artifact_dir.empty() && !report.spec_name.empty()) {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    fs::create_directories(artifact_dir, ec);
-    if (ec) {
-      throw util::Error("cannot create artifact dir " + artifact_dir);
-    }
-    const auto manifest_path =
-        fs::path(artifact_dir) / (report.spec_name + ".manifest.json");
-    std::ofstream mf(manifest_path, std::ios::trunc);
-    mf << report.manifest().dump(2) << "\n";
-    report.manifest_path = manifest_path.string();
+    // Artifacts are emitted after every job has been computed (and the
+    // misses cached), so an artifact-side I/O failure must not discard
+    // the run: degrade to a warning and record why in the report.
+    try {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      fs::create_directories(artifact_dir, ec);
+      if (ec) {
+        util::Failure f;
+        f.kind = util::FailureKind::Io;
+        f.message = "cannot create artifact dir " + artifact_dir;
+        f.retryable = true;
+        throw util::FailureError(std::move(f));
+      }
+      const auto manifest_path =
+          fs::path(artifact_dir) / (report.spec_name + ".manifest.json");
+      write_atomic(manifest_path.string(), report.manifest().dump(2) + "\n");
+      report.manifest_path = manifest_path.string();
 
-    const auto csv_path =
-        fs::path(artifact_dir) / (report.spec_name + ".csv");
-    std::ofstream cf(csv_path, std::ios::trunc);
-    report.table().write_csv(cf);
-    report.csv_path = csv_path.string();
+      const auto csv_path =
+          fs::path(artifact_dir) / (report.spec_name + ".csv");
+      std::ostringstream csv;
+      report.table().write_csv(csv);
+      write_atomic(csv_path.string(), csv.str());
+      report.csv_path = csv_path.string();
+    } catch (const std::exception& e) {
+      report.artifact_error = e.what();
+      std::cerr << "warning: run '" << report.spec_name
+                << "': artifact emission failed: " << e.what() << "\n";
+    }
   }
 }
 
 const JobResult& RunReport::at(const std::string& label,
                                double lambda) const {
   for (const auto& r : results) {
-    if (r.label == label && r.lambda == lambda) return r;
+    if (r.label == label && lambda_matches(r.lambda, lambda)) return r;
   }
   throw util::Error("run '" + spec_name + "' has no job (" + label + ", " +
                     util::Json::number_to_string(lambda) + ")");
@@ -191,14 +340,28 @@ const JobResult& RunReport::at(const std::string& label,
 
 double RunReport::sim(const std::string& label, double lambda) const {
   const auto& r = at(label, lambda);
+  if (r.status == JobStatus::Failed) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   LSM_EXPECT(r.has_sim, "job (" + label + ") has no simulation output");
   return r.sim_sojourn.mean;
 }
 
 double RunReport::estimate(const std::string& label, double lambda) const {
   const auto& r = at(label, lambda);
+  if (r.status == JobStatus::Failed) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   LSM_EXPECT(r.has_estimate, "job (" + label + ") has no estimate output");
   return r.est_sojourn;
+}
+
+std::vector<const JobResult*> RunReport::failed() const {
+  std::vector<const JobResult*> out;
+  for (const auto& r : results) {
+    if (r.status == JobStatus::Failed) out.push_back(&r);
+  }
+  return out;
 }
 
 util::Json RunReport::manifest(bool include_timing) const {
@@ -214,6 +377,14 @@ util::Json RunReport::manifest(bool include_timing) const {
     j["key"] = r.key;
     j["config"] = jobs[i].canonical();
     j["cache_hit"] = r.cache_hit;
+    j["status"] = r.status == JobStatus::Failed ? "failed" : "ok";
+    if (r.status == JobStatus::Failed) {
+      auto err = util::Json::object();
+      err["kind"] = r.error_kind;
+      err["message"] = r.error;
+      err["attempts"] = static_cast<std::size_t>(r.attempts);
+      j["error"] = std::move(err);
+    }
     if (r.has_estimate) {
       auto est = util::Json::object();
       est["sojourn"] = r.est_sojourn;
@@ -253,6 +424,7 @@ util::Json RunReport::manifest(bool include_timing) const {
   agg["jobs"] = results.size();
   agg["cache_hits"] = cache_hits;
   agg["cache_misses"] = cache_misses;
+  agg["failed"] = failed_jobs;
   agg["events_simulated"] = events_simulated;
   std::uint64_t attempts = 0, successes = 0, moved = 0, forwards = 0;
   for (const auto& r : results) {
@@ -280,13 +452,14 @@ util::Json RunReport::manifest(bool include_timing) const {
 }
 
 util::Table RunReport::table() const {
-  util::Table t({"label", "lambda", "est_sojourn", "sim_sojourn",
+  util::Table t({"label", "lambda", "status", "est_sojourn", "sim_sojourn",
                  "sim_half_width", "sim_stddev", "replications",
                  "sim_mean_tasks", "message_rate", "steal_attempts",
-                 "steal_successes", "events", "wall_ms", "cache"});
+                 "steal_successes", "events", "wall_ms", "cache", "error"});
   for (const auto& r : results) {
     const auto num = [](double v) { return util::Json::number_to_string(v); };
-    t.add_row({r.label, num(r.lambda),
+    const bool failed = r.status == JobStatus::Failed;
+    t.add_row({r.label, num(r.lambda), failed ? "failed" : "ok",
                r.has_estimate ? num(r.est_sojourn) : "",
                r.has_sim ? num(r.sim_sojourn.mean) : "",
                r.has_sim ? num(r.sim_sojourn.half_width) : "",
@@ -296,7 +469,11 @@ util::Table RunReport::table() const {
                r.has_sim ? num(r.message_rate) : "",
                std::to_string(r.steal_attempts),
                std::to_string(r.steal_successes), std::to_string(r.events),
-               num(r.wall_seconds * 1e3), r.cache_hit ? "hit" : "miss"});
+               num(r.wall_seconds * 1e3), r.cache_hit ? "hit" : "miss",
+               // The kind slug only: comma- and quote-free by
+               // construction, so the CSV needs no escaping. The full
+               // message lives in the manifest.
+               failed ? r.error_kind : ""});
   }
   return t;
 }
@@ -304,7 +481,11 @@ util::Table RunReport::table() const {
 std::string RunReport::summary() const {
   std::string s = "runner: " + std::to_string(results.size()) + " jobs | " +
                   std::to_string(cache_hits) + " cached, " +
-                  std::to_string(cache_misses) + " computed | " +
+                  std::to_string(cache_misses) + " computed" +
+                  (failed_jobs > 0
+                       ? " | " + std::to_string(failed_jobs) + " failed"
+                       : "") +
+                  " | " +
                   format_rate(static_cast<double>(events_simulated)) +
                   " events in " + format_rate(wall_seconds) + " s";
   if (wall_seconds > 0.0 && events_simulated > 0) {

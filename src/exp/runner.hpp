@@ -18,6 +18,8 @@
 // comparing timing-free manifests across pool widths 1, 2 and 8.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,29 @@ class FixedPointContinuation;
 
 namespace lsm::exp {
 
+/// Strict-vs-degraded failure handling for a run.
+enum class OnFailure {
+  /// The first job failure (after retries) aborts the whole run: a
+  /// util::FailureError with the job identity attached propagates out of
+  /// Runner::run. The pre-isolation behaviour, and the safe default for
+  /// golden-table benches.
+  Abort,
+  /// Failures are isolated: the job's JobResult carries status = Failed
+  /// plus the error, the rest of the run completes, and the failure is
+  /// surfaced in the manifest/CSV/summary. For long sweeps where losing
+  /// one near-critical point must not discard hours of finished work.
+  Report,
+};
+
+/// Bounded exponential backoff for retryable job failures (transient
+/// I/O, injected faults). Non-retryable failures never retry.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< total executions, including the first
+  double initial_backoff_seconds = 0.025;
+  double backoff_multiplier = 4.0;
+  double max_backoff_seconds = 1.0;
+};
+
 struct RunnerOptions {
   /// External pool to shard jobs on; nullptr spawns a private pool of
   /// `threads` workers (0 = util::worker_threads()).
@@ -44,8 +69,12 @@ struct RunnerOptions {
   /// Directory for the manifest + CSV; "" disables artifact emission.
   /// Defaults to LSM_ARTIFACTS / ".lsm-artifacts".
   std::string artifact_dir = default_artifact_dir();
+  /// Abort (default) vs Report; LSM_ON_FAILURE=report flips the default.
+  OnFailure on_failure = default_on_failure();
+  RetryPolicy retry{};
 
   [[nodiscard]] static std::string default_artifact_dir();
+  [[nodiscard]] static OnFailure default_on_failure();
 };
 
 /// Everything one Runner::run produced, in spec order.
@@ -57,20 +86,31 @@ struct RunReport {
   std::size_t cache_misses = 0;
   /// Events executed by this run (cache hits contribute nothing).
   std::uint64_t events_simulated = 0;
+  /// Jobs that ended Failed (Report mode; counted by finalize alongside
+  /// the cache stats — hits + misses + failed == jobs).
+  std::size_t failed_jobs = 0;
   double wall_seconds = 0.0;
   unsigned threads = 0;
   std::string manifest_path;  ///< "" when artifacts are disabled
   std::string csv_path;
+  /// Why artifact emission was skipped ("" = it wasn't): artifacts are
+  /// written after all compute, so their I/O failures degrade to this
+  /// field + a stderr warning instead of discarding the finished run.
+  std::string artifact_error;
 
   /// Result lookup by grid label + arrival rate; throws util::Error when
-  /// the job does not exist.
+  /// the job does not exist. λ matches within a few ulps, so values
+  /// produced by grid arithmetic (0.1 * 9) still find the 0.9 job.
   [[nodiscard]] const JobResult& at(const std::string& label,
                                     double lambda) const;
-  /// Simulated mean sojourn of (label, lambda).
+  /// Simulated mean sojourn of (label, lambda); NaN when the job failed
+  /// (so degraded tables render holes instead of aborting the bench).
   [[nodiscard]] double sim(const std::string& label, double lambda) const;
-  /// Fixed-point sojourn estimate of (label, lambda).
+  /// Fixed-point sojourn estimate of (label, lambda); NaN when failed.
   [[nodiscard]] double estimate(const std::string& label,
                                 double lambda) const;
+  /// The failed results, in spec order (empty on a fully clean run).
+  [[nodiscard]] std::vector<const JobResult*> failed() const;
 
   /// The run manifest. With include_timing = false every
   /// schedule-dependent field (wall times, rates, thread count) is
@@ -101,17 +141,40 @@ class Runner {
 /// shards. Exposed for tests. With a non-null `chain` the estimate side
 /// solves through the continuation (warm-started from the chain's carried
 /// state, which the call then updates); nullptr solves cold, exactly as
-/// before.
+/// before. `attempt` (1-based) only feeds the fault-injection hooks, so
+/// a retry draws a fresh deterministic fault decision.
 [[nodiscard]] JobResult execute_job(
-    const Job& job, core::FixedPointContinuation* chain = nullptr);
+    const Job& job, core::FixedPointContinuation* chain = nullptr,
+    std::uint64_t attempt = 1);
 
 namespace detail {
 
 /// Report finalization shared by Runner and SweepRunner: fills the
-/// aggregate cache/event counters from `report.results` and, when
-/// `artifact_dir` and the spec name are non-empty, writes the manifest +
-/// CSV artifacts (recording their paths in the report).
+/// aggregate cache/event/failure counters from `report.results` and,
+/// when `artifact_dir` and the spec name are non-empty, writes the
+/// manifest + CSV artifacts atomically (recording their paths in the
+/// report). Artifact I/O failures degrade to report.artifact_error.
 void finalize_report(RunReport& report, const std::string& artifact_dir);
+
+/// Runs `fn(attempt)` under the failure policy: a retryable failure
+/// (per util::classify_exception) is retried with bounded exponential
+/// backoff up to retry.max_attempts total executions. A final failure
+/// either rethrows as util::FailureError with the job identity attached
+/// (Abort) or returns a JobResult whose status/error/error_kind/attempts
+/// describe it (Report). Successful results get attempts stamped.
+JobResult run_isolated(const Job& job, OnFailure on_failure,
+                       const RetryPolicy& retry,
+                       const std::function<JobResult(std::uint64_t)>& fn);
+
+/// cache.store, with I/O failures downgraded to a stderr warning: a
+/// lost cache entry only costs a recompute, never the computed job.
+void store_quietly(const ResultCache& cache, const std::string& key,
+                   const JobResult& result);
+
+/// Writes `contents` to `path` atomically (tmp + rename), so a crash
+/// mid-write never leaves a partial file behind. Throws
+/// util::FailureError (Io) on failure, removing the tmp file.
+void write_atomic(const std::string& path, const std::string& contents);
 
 }  // namespace detail
 

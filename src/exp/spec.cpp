@@ -114,6 +114,16 @@ util::Json Job::canonical() const {
 
 std::string Job::key() const { return content_hash(canonical().dump()); }
 
+std::string Job::fault_context() const {
+  std::string ctx = label;
+  ctx += '@';
+  ctx += util::Json::number_to_string(lambda);
+  ctx += '/';
+  if (estimate) ctx += 'e';
+  if (simulate) ctx += 's';
+  return ctx;
+}
+
 GridEntry& ExperimentSpec::add(GridEntry entry) {
   entries.push_back(std::move(entry));
   return entries.back();

@@ -88,6 +88,12 @@ struct Job {
 
   /// Content hash (16 hex chars) of canonical(); the cache key.
   [[nodiscard]] std::string key() const;
+
+  /// Stable short identity ("label@0.8/es") used as the fault-injection
+  /// context and in failure messages. Unlike key(), it is independent of
+  /// solver annotations, so a job faults (or not) identically whether a
+  /// sweep runs it warm or cold-restarted.
+  [[nodiscard]] std::string fault_context() const;
 };
 
 struct ExperimentSpec {

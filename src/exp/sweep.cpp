@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -22,9 +23,18 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// One half of a job's outputs (estimate or simulation), tagged with the
 /// job's index in the report. Chains and sim points compute partials
 /// concurrently; the merge back into spec order is single-threaded.
+///
+/// Solver annotations ride along instead of being written into
+/// report.jobs up front: a chain break (failed point) cold-restarts the
+/// remainder of the chain, so which points actually ran warm — and under
+/// which keys — is only known after the chain executed. The merge applies
+/// them single-threaded, before any report key is derived.
 struct Partial {
   std::size_t index = 0;
   JobResult r;
+  bool annotate = false;  ///< apply solver/warm_chain to report.jobs
+  std::string solver;
+  std::vector<double> warm_chain;
 };
 
 /// The estimate-only cache identity of `job` (solver/warm_chain/
@@ -56,49 +66,90 @@ Job simulate_part(const Job& job) {
 /// the uninterrupted one below the polish tolerance, never above it.
 std::vector<Partial> run_chain(const std::vector<std::size_t>& indices,
                                const std::vector<Job>& jobs,
-                               const ResultCache& cache, bool warm) {
+                               const ResultCache& cache,
+                               const SweepOptions& opts) {
   std::vector<Partial> out;
   out.reserve(indices.size());
   core::FixedPointContinuation chain;
+  // λs of the live chain behind the next point. Cleared on a failed
+  // point, so the remainder of the chain is keyed (and solved) cold —
+  // a warm key must never claim a path through a point that never
+  // produced state.
+  std::vector<double> prefix;
   for (const std::size_t index : indices) {
-    const Job ejob = estimate_part(jobs[index]);
-    const auto t0 = std::chrono::steady_clock::now();
-    JobResult r;
-    r.label = ejob.label;
-    r.lambda = ejob.lambda;
-    r.key = ejob.key();
-    // A warm-keyed entry without its stored state cannot seed the chain;
-    // treat it as a miss and repair it in place.
-    if (cache.load(r.key, r) && (!warm || !r.est_state.empty())) {
-      r.cache_hit = true;
-      if (warm) chain.seed(r.est_state, r.est_state_truncation);
-    } else {
-      r = execute_job(ejob, warm ? &chain : nullptr);
-      cache.store(r.key, r);
+    Job ejob = estimate_part(jobs[index]);
+    if (opts.warm) {
+      ejob.outputs.store_state = true;
+      if (prefix.empty()) {
+        ejob.solver = "cold";
+        ejob.warm_chain.clear();
+      } else {
+        ejob.solver = "warm";
+        ejob.warm_chain = prefix;
+      }
     }
-    r.wall_seconds = seconds_since(t0);
-    out.push_back({index, std::move(r)});
+    const auto t0 = std::chrono::steady_clock::now();
+    Partial p;
+    p.index = index;
+    p.annotate = opts.warm;
+    p.solver = ejob.solver;
+    p.warm_chain = ejob.warm_chain;
+    p.r = detail::run_isolated(
+        ejob, opts.on_failure, opts.retry, [&](std::uint64_t attempt) {
+          JobResult r;
+          r.label = ejob.label;
+          r.lambda = ejob.lambda;
+          r.key = ejob.key();
+          // A warm-keyed entry without its stored state cannot seed the
+          // chain; treat it as a miss and repair it in place.
+          if (cache.load(r.key, r) &&
+              (!opts.warm || !r.est_state.empty())) {
+            r.cache_hit = true;
+            if (opts.warm) chain.seed(r.est_state, r.est_state_truncation);
+          } else {
+            r = execute_job(ejob, opts.warm ? &chain : nullptr, attempt);
+            detail::store_quietly(cache, r.key, r);
+          }
+          return r;
+        });
+    p.r.wall_seconds = seconds_since(t0);
+    if (p.r.status == JobStatus::Failed) {
+      // The continuation already reset itself on the failed solve (and an
+      // injected job fault fires before it ever runs); clearing the
+      // prefix cold-restarts the rest of the chain.
+      chain.reset();
+      prefix.clear();
+    } else if (opts.warm) {
+      prefix.push_back(ejob.lambda);
+    }
+    out.push_back(std::move(p));
   }
   return out;
 }
 
 /// Runs (or loads) one job's simulation half.
 Partial run_sim(std::size_t index, const std::vector<Job>& jobs,
-                const ResultCache& cache) {
+                const ResultCache& cache, const SweepOptions& opts) {
   const Job sjob = simulate_part(jobs[index]);
   const auto t0 = std::chrono::steady_clock::now();
-  JobResult r;
-  r.label = sjob.label;
-  r.lambda = sjob.lambda;
-  r.key = sjob.key();
-  if (cache.load(r.key, r)) {
-    r.cache_hit = true;
-  } else {
-    r = execute_job(sjob);
-    cache.store(r.key, r);
-  }
-  r.wall_seconds = seconds_since(t0);
-  return {index, std::move(r)};
+  Partial p;
+  p.index = index;
+  p.r = detail::run_isolated(
+      sjob, opts.on_failure, opts.retry, [&](std::uint64_t attempt) {
+        JobResult r;
+        r.label = sjob.label;
+        r.lambda = sjob.lambda;
+        r.key = sjob.key();
+        if (cache.load(r.key, r)) {
+          r.cache_hit = true;
+        } else {
+          r = execute_job(sjob, nullptr, attempt);
+          detail::store_quietly(cache, r.key, r);
+        }
+        return r;
+      });
+  p.r.wall_seconds = seconds_since(t0);
+  return p;
 }
 
 }  // namespace
@@ -131,26 +182,12 @@ RunReport SweepRunner::run(const SweepSpec& sweep) {
   report.spec_name = spec.name;
   report.jobs = spec.expand();
 
-  // Annotate the chained estimate jobs with their solver identity, so
-  // both the cache keys and the manifest record how each point was
-  // actually solved. The chain's head point stays "cold": it runs the
-  // standalone cold solve, bit-identical to what a plain Runner computes.
+  // Solver annotations (warm/cold + chain prefix) are NOT applied to
+  // report.jobs here: a failed chain point cold-restarts the remainder,
+  // so each chain decides its points' annotations as it executes and
+  // carries them back in its partials. Keeping report.jobs immutable
+  // during the parallel phase also keeps the sim units' reads race-free.
   const std::size_t n_lambdas = spec.lambdas.size();
-  if (opts_.warm) {
-    for (std::size_t e = 0; e < spec.entries.size(); ++e) {
-      for (std::size_t j = 0; j < n_lambdas; ++j) {
-        Job& job = report.jobs[e * n_lambdas + j];
-        if (!job.estimate) continue;
-        job.outputs.store_state = true;
-        if (j > 0) {
-          job.solver = "warm";
-          job.warm_chain.assign(spec.lambdas.begin(),
-                                spec.lambdas.begin() +
-                                    static_cast<std::ptrdiff_t>(j));
-        }
-      }
-    }
-  }
 
   std::unique_ptr<par::ThreadPool> owned;
   par::ThreadPool* pool = opts_.pool;
@@ -174,13 +211,14 @@ RunReport SweepRunner::run(const SweepSpec& sweep) {
       if (report.jobs[base + j].estimate) chain_indices.push_back(base + j);
       if (report.jobs[base + j].simulate) {
         units.emplace_back([&, index = base + j] {
-          return std::vector<Partial>{run_sim(index, report.jobs, cache)};
+          return std::vector<Partial>{
+              run_sim(index, report.jobs, cache, opts_)};
         });
       }
     }
     if (!chain_indices.empty()) {
       units.emplace_back([&, indices = std::move(chain_indices)] {
-        return run_chain(indices, report.jobs, cache, opts_.warm);
+        return run_chain(indices, report.jobs, cache, opts_);
       });
     }
   }
@@ -188,6 +226,20 @@ RunReport SweepRunner::run(const SweepSpec& sweep) {
   const auto partials =
       par::parallel_map(*pool, units.size(),
                         [&](std::size_t i) { return units[i](); });
+
+  // Apply the solver annotations each chain actually used, now that the
+  // parallel phase is over — every report key derived below must reflect
+  // how the point was really solved (a chain break demotes the remainder
+  // to cold).
+  for (const auto& bundle : partials) {
+    for (const auto& p : bundle) {
+      if (!p.annotate) continue;
+      Job& job = report.jobs[p.index];
+      job.outputs.store_state = true;
+      job.solver = p.solver;
+      job.warm_chain = p.warm_chain;
+    }
+  }
 
   // Merge partials back into one result per job, in spec order. A job
   // counts as a cache hit only when every half of it hit.
@@ -204,6 +256,15 @@ RunReport SweepRunner::run(const SweepSpec& sweep) {
     for (const auto& p : bundle) {
       JobResult& dst = report.results[p.index];
       const JobResult& src = p.r;
+      if (src.status == JobStatus::Failed) {
+        // Either half failing fails the merged job; errors concatenate,
+        // the first kind wins (it is the CSV slug).
+        dst.status = JobStatus::Failed;
+        if (!dst.error.empty()) dst.error += "; ";
+        dst.error += src.error;
+        if (dst.error_kind.empty()) dst.error_kind = src.error_kind;
+      }
+      dst.attempts = std::max(dst.attempts, src.attempts);
       if (src.has_estimate) {
         dst.has_estimate = true;
         dst.est_sojourn = src.est_sojourn;

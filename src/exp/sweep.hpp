@@ -50,6 +50,12 @@ struct SweepOptions {
   /// is validated against (fixed_point_property_test asserts the two
   /// agree to 1e-9).
   bool warm = true;
+  /// Abort (default) vs Report. In Report mode a failed chain point is
+  /// isolated and the REST OF THE CHAIN COLD-RESTARTS: the failed point
+  /// left no trustworthy state to continue from, so the next point solves
+  /// cold (keyed as such) and warm chaining resumes behind it.
+  OnFailure on_failure = RunnerOptions::default_on_failure();
+  RetryPolicy retry{};
 };
 
 /// Executes a SweepSpec: estimate chains per entry, simulations per

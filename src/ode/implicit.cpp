@@ -1,9 +1,11 @@
 #include "ode/implicit.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/failure.hpp"
 
 namespace lsm::ode {
 
@@ -139,6 +141,7 @@ bool ImplicitEulerBanded::step(const OdeSystem& sys, double t, State& s,
 StiffRelaxResult stiff_relax_to_fixed_point(const OdeSystem& sys, State s0,
                                             const StiffRelaxOptions& opts) {
   LSM_EXPECT(s0.size() == sys.dimension(), "state dimension mismatch");
+  const auto wall0 = std::chrono::steady_clock::now();
   const CountingSystem counted(sys);
   ImplicitEulerBanded stepper(opts.implicit);
   State f(s0.size());
@@ -150,14 +153,47 @@ StiffRelaxResult stiff_relax_to_fixed_point(const OdeSystem& sys, State s0,
   const auto context = [&opts] {
     return opts.label.empty() ? std::string() : " [" + opts.label + "]";
   };
+  auto give_up = [&](SolveStatus status, const std::string& why,
+                     std::size_t steps) -> StiffRelaxResult {
+    out.steps = steps;
+    out.rhs_evals = counted.evals();
+    out.status = status;
+    out.failure = "stiff_relax_to_fixed_point: " + why + context() +
+                  ": deriv_norm=" + std::to_string(out.deriv_norm) +
+                  " rhs_evals=" + std::to_string(counted.evals());
+    if (opts.throw_on_failure) {
+      util::Failure fail;
+      fail.kind = status == SolveStatus::Diverged
+                      ? util::FailureKind::SolverDiverged
+                      : util::FailureKind::SolverBudget;
+      fail.message = out.failure;
+      fail.context = opts.label;
+      throw util::FailureError(std::move(fail));
+    }
+    return std::move(out);
+  };
 
   for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    if (opts.max_rhs_evals != 0 && counted.evals() >= opts.max_rhs_evals) {
+      return give_up(SolveStatus::BudgetExhausted,
+                     "RHS evaluation budget exhausted", step);
+    }
+    if (opts.max_wall_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+                .count() >= opts.max_wall_seconds) {
+      return give_up(SolveStatus::BudgetExhausted, "wall budget exhausted",
+                     step);
+    }
     counted.deriv(t, out.state, f);
     out.deriv_norm = norm_linf(f);
     if (out.deriv_norm < opts.deriv_tol) {
       out.steps = step;
       out.rhs_evals = counted.evals();
       return out;
+    }
+    if (!std::isfinite(out.deriv_norm)) {
+      return give_up(SolveStatus::Diverged, "derivative norm is not finite",
+                     step);
     }
     if (stepper.step(counted, t, out.state, h)) {
       t += h;
@@ -166,17 +202,12 @@ StiffRelaxResult stiff_relax_to_fixed_point(const OdeSystem& sys, State s0,
       h *= 0.25;
       stepper.invalidate();
       if (h < 1e-8) {
-        throw util::Error("stiff_relax_to_fixed_point: step underflow" +
-                          context() +
-                          ": deriv_norm=" + std::to_string(out.deriv_norm) +
-                          " rhs_evals=" + std::to_string(counted.evals()));
+        return give_up(SolveStatus::Diverged, "step underflow", step);
       }
     }
   }
-  throw util::Error("stiff_relax_to_fixed_point: exceeded max_steps" +
-                    context() +
-                    ": deriv_norm=" + std::to_string(out.deriv_norm) +
-                    " rhs_evals=" + std::to_string(counted.evals()));
+  return give_up(SolveStatus::BudgetExhausted, "exceeded max_steps",
+                 opts.max_steps);
 }
 
 }  // namespace lsm::ode

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "ode/banded.hpp"
+#include "ode/status.hpp"
 #include "ode/system.hpp"
 
 namespace lsm::ode {
@@ -74,6 +75,13 @@ struct StiffRelaxOptions {
   double h_max = 1e7;
   std::size_t max_steps = 4000;
   std::string label;  ///< caller context prepended to failure errors
+  /// Optional budgets (0 = unlimited); exhaustion fails the solve with
+  /// SolveStatus::BudgetExhausted.
+  std::size_t max_rhs_evals = 0;
+  double max_wall_seconds = 0.0;
+  /// Failures throw util::FailureError by default; set false to get a
+  /// best-effort result with status/failure filled in instead.
+  bool throw_on_failure = true;
 };
 
 struct StiffRelaxResult {
@@ -81,10 +89,14 @@ struct StiffRelaxResult {
   double deriv_norm = 0.0;
   std::size_t steps = 0;
   std::size_t rhs_evals = 0;  ///< derivative evaluations consumed
+  SolveStatus status = SolveStatus::Converged;
+  std::string failure;  ///< human-readable reason when status != Converged
 };
 
-/// Pseudo-transient continuation to the fixed point of `sys`. Throws
-/// util::Error if max_steps is exhausted or the step size underflows.
+/// Pseudo-transient continuation to the fixed point of `sys`. Step-size
+/// underflow reports SolveStatus::Diverged; exhausting max_steps or a
+/// budget reports BudgetExhausted — thrown as util::FailureError (a
+/// util::Error subclass) unless opts.throw_on_failure is false.
 StiffRelaxResult stiff_relax_to_fixed_point(const OdeSystem& sys, State s0,
                                             const StiffRelaxOptions& opts);
 

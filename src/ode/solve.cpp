@@ -1,15 +1,54 @@
 #include "ode/solve.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "ode/integrator.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
 
 namespace lsm::ode {
 
 namespace {
+
+/// Tracks the dispatcher-level eval/wall budget across phases so nested
+/// calls (fallback relaxation, cold re-runs) only get what is left.
+struct Budget {
+  std::size_t max_evals;
+  double max_seconds;
+  std::chrono::steady_clock::time_point start;
+
+  explicit Budget(const FixedPointSolveOptions& opts)
+      : max_evals(opts.max_rhs_evals),
+        max_seconds(opts.max_wall_seconds),
+        start(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  [[nodiscard]] bool exhausted(std::size_t spent_evals) const {
+    if (max_evals != 0 && spent_evals >= max_evals) return true;
+    if (max_seconds > 0.0 && elapsed() >= max_seconds) return true;
+    return false;
+  }
+
+  /// Shrinks the budget fields of nested options to the remainder. A
+  /// limited budget never becomes 0 (the "unlimited" sentinel): fully
+  /// spent maps to the smallest value the nested solver fails fast on.
+  void carry_into(FixedPointSolveOptions& opts, std::size_t spent_evals) const {
+    if (max_evals != 0) {
+      opts.max_rhs_evals = max_evals > spent_evals ? max_evals - spent_evals : 1;
+    }
+    if (max_seconds > 0.0) {
+      opts.max_wall_seconds = std::max(max_seconds - elapsed(), 1e-9);
+    }
+  }
+};
 
 double distance_linf(const State& a, const State& b) {
   double d = 0.0;
@@ -52,6 +91,11 @@ FixedPointSolveResult run_relax(const OdeSystem& sys, State s0,
   // (callers polish afterwards); take whichever of the two is looser.
   ropts.deriv_tol = std::max(opts.tol, opts.relax.deriv_tol);
   if (ropts.label.empty()) ropts.label = opts.label;
+  if (opts.max_rhs_evals != 0) ropts.max_rhs_evals = opts.max_rhs_evals;
+  if (opts.max_wall_seconds > 0.0) {
+    ropts.max_wall_seconds = opts.max_wall_seconds;
+  }
+  ropts.throw_on_failure = opts.throw_on_failure;
   SteadyStateResult relaxed = relax_to_fixed_point(sys, std::move(s0), ropts);
   FixedPointSolveResult out;
   out.state = std::move(relaxed.state);
@@ -59,6 +103,8 @@ FixedPointSolveResult run_relax(const OdeSystem& sys, State s0,
   out.method = FixedPointMethod::Relax;
   out.rhs_evals = relaxed.rhs_evals;
   out.relax_time = relaxed.time;
+  out.status = relaxed.status;
+  out.failure = std::move(relaxed.failure);
   return out;
 }
 
@@ -71,6 +117,11 @@ FixedPointSolveResult run_stiff(const OdeSystem& sys, State s0,
     sopts.implicit.kl = opts.stiff_bandwidth;
     sopts.implicit.ku = opts.stiff_bandwidth;
   }
+  if (opts.max_rhs_evals != 0) sopts.max_rhs_evals = opts.max_rhs_evals;
+  if (opts.max_wall_seconds > 0.0) {
+    sopts.max_wall_seconds = opts.max_wall_seconds;
+  }
+  sopts.throw_on_failure = opts.throw_on_failure;
   StiffRelaxResult stiff = stiff_relax_to_fixed_point(sys, std::move(s0), sopts);
   FixedPointSolveResult out;
   out.state = std::move(stiff.state);
@@ -78,6 +129,8 @@ FixedPointSolveResult run_stiff(const OdeSystem& sys, State s0,
   out.method = FixedPointMethod::Stiff;
   out.rhs_evals = stiff.rhs_evals;
   out.iterations = stiff.steps;
+  out.status = stiff.status;
+  out.failure = std::move(stiff.failure);
   return out;
 }
 
@@ -97,9 +150,43 @@ FixedPointSolveResult rerun_cold(const OdeSystem& sys,
 
 FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
                                    const FixedPointSolveOptions& opts) {
+  const Budget budget(opts);
   const bool warm = !opts.cold_start.empty();
   AndersonOptions aopts = opts.anderson;
   aopts.tol = opts.tol;
+  if (opts.max_rhs_evals != 0) {
+    // Acceleration costs ~1 eval per iteration, so the eval budget caps
+    // the iteration count (floor 2 keeps the result well-formed).
+    aopts.max_iter =
+        std::min(aopts.max_iter, std::max<std::size_t>(opts.max_rhs_evals, 2));
+  }
+  // Out-of-budget exit shared by every phase transition below: hand back
+  // Anderson's best iterate marked BudgetExhausted (or throw).
+  auto budget_failure = [&opts](AndersonResult&& aa, std::size_t extra,
+                                bool warm_rejected) -> FixedPointSolveResult {
+    FixedPointSolveResult out;
+    out.state = std::move(aa.state);
+    out.residual = aa.residual_norm;
+    out.method = FixedPointMethod::Anderson;
+    out.rhs_evals = aa.rhs_evals + extra;
+    out.iterations = aa.iterations;
+    out.fellback = true;
+    out.warm_rejected = warm_rejected;
+    out.status = SolveStatus::BudgetExhausted;
+    out.failure =
+        "solve_fixed_point: budget exhausted before convergence" +
+        (opts.label.empty() ? std::string() : " [" + opts.label + "]") +
+        ": residual=" + std::to_string(out.residual) +
+        " rhs_evals=" + std::to_string(out.rhs_evals);
+    if (opts.throw_on_failure) {
+      util::Failure f;
+      f.kind = util::FailureKind::SolverBudget;
+      f.message = out.failure;
+      f.context = opts.label;
+      throw util::FailureError(std::move(f));
+    }
+    return out;
+  };
   // Keep the caller's start around: if acceleration fails we relax from
   // THERE, not from Anderson's best iterate. Truncated systems can be
   // bistable, and the physically meaningful equilibrium is the one that
@@ -113,7 +200,12 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
       aa.residual_norm <= opts.anderson_accept_factor * aopts.tol) {
     std::size_t probe_evals = 0;
     if (warm && basin_escaped(sys, start, aa.state, opts, probe_evals)) {
-      FixedPointSolveResult out = rerun_cold(sys, opts);
+      if (budget.exhausted(aa.rhs_evals + probe_evals)) {
+        return budget_failure(std::move(aa), probe_evals, true);
+      }
+      FixedPointSolveOptions copts = opts;
+      budget.carry_into(copts, aa.rhs_evals + probe_evals);
+      FixedPointSolveResult out = rerun_cold(sys, copts);
       out.rhs_evals += aa.rhs_evals + probe_evals;
       out.warm_rejected = true;
       return out;
@@ -130,7 +222,12 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
     // Warm acceleration stalled or diverged: never fall back from the warm
     // iterate. Re-run the whole cold path (including its own fallback
     // semantics) so the answer is exactly what a cold caller would get.
-    FixedPointSolveResult out = rerun_cold(sys, opts);
+    if (budget.exhausted(aa.rhs_evals)) {
+      return budget_failure(std::move(aa), 0, true);
+    }
+    FixedPointSolveOptions copts = opts;
+    budget.carry_into(copts, aa.rhs_evals);
+    FixedPointSolveResult out = rerun_cold(sys, copts);
     out.rhs_evals += aa.rhs_evals;
     out.warm_rejected = true;
     return out;
@@ -148,7 +245,12 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
   }
   // Acceleration stalled or diverged: relax from the original start so the
   // fallback reproduces the plain-relaxation result exactly.
-  FixedPointSolveResult out = run_relax(sys, std::move(start), opts);
+  if (budget.exhausted(aa.rhs_evals)) {
+    return budget_failure(std::move(aa), 0, false);
+  }
+  FixedPointSolveOptions fopts = opts;
+  budget.carry_into(fopts, aa.rhs_evals);
+  FixedPointSolveResult out = run_relax(sys, std::move(start), fopts);
   out.rhs_evals += aa.rhs_evals;
   out.iterations = aa.iterations;
   out.fellback = true;
@@ -156,6 +258,15 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
 }
 
 }  // namespace
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::Diverged: return "diverged";
+    case SolveStatus::BudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
 
 const char* to_string(FixedPointMethod method) noexcept {
   switch (method) {

@@ -17,6 +17,7 @@
 
 #include "ode/anderson.hpp"
 #include "ode/implicit.hpp"
+#include "ode/status.hpp"
 #include "ode/steady_state.hpp"
 #include "ode/system.hpp"
 
@@ -82,6 +83,16 @@ struct FixedPointSolveOptions {
   double basin_check_dist = 0.05;
   /// Virtual-time horizon of the basin probe integration.
   double basin_probe_time = 2.0;
+  /// Optional budgets across all phases (0 = unlimited). The remaining
+  /// budget is threaded into each phase (acceleration iteration cap,
+  /// fallback relaxation, cold re-runs); exhaustion fails the solve with
+  /// SolveStatus::BudgetExhausted. Budgets are approximate at phase
+  /// boundaries (acceleration is capped by iterations ≈ evaluations).
+  std::size_t max_rhs_evals = 0;
+  double max_wall_seconds = 0.0;
+  /// Failures throw util::FailureError by default; set false to get a
+  /// best-effort result with status/failure filled in instead.
+  bool throw_on_failure = true;
 };
 
 struct FixedPointSolveResult {
@@ -95,11 +106,19 @@ struct FixedPointSolveResult {
   /// The warm start was rejected (divergence or basin escape) and the
   /// returned answer was produced by the cold path from opts.cold_start.
   bool warm_rejected = false;
+  /// Converged unless a path hard-failed (diverged / budget exhausted).
+  /// Note the relax_fallback=false escape hatch returns fellback=true
+  /// with status Converged — those callers orchestrate their own retry
+  /// and check result.residual, per the option's contract.
+  SolveStatus status = SolveStatus::Converged;
+  std::string failure;  ///< human-readable reason when status != Converged
 };
 
-/// Finds s with ||f(s)||_inf < opts.tol starting from s0. Throws
-/// util::Error only when every applicable path fails (relaxation exhausts
-/// its horizon or the stiff stepper underflows).
+/// Finds s with ||f(s)||_inf < opts.tol starting from s0. When every
+/// applicable path fails (relaxation exhausts its horizon or a budget,
+/// the stiff stepper underflows), throws util::FailureError — or, with
+/// opts.throw_on_failure=false, returns the best iterate with
+/// status/failure describing the problem.
 [[nodiscard]] FixedPointSolveResult solve_fixed_point(
     const OdeSystem& sys, State s0, const FixedPointSolveOptions& opts = {});
 

@@ -1,7 +1,15 @@
 // Data-parallel helpers layered on ThreadPool.
+//
+// Exception contract (both helpers): every submitted task is drained
+// before anything is rethrown — the tasks capture references to the
+// caller's closure/range, so rethrowing while chunks are still running
+// would leave them racing a destroyed frame. When several chunks throw,
+// the lowest-index one wins (deterministic across schedules); the rest
+// are swallowed. The pool itself stays reusable afterwards.
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <future>
 #include <vector>
 
@@ -12,7 +20,8 @@ namespace lsm::par {
 
 /// Runs body(i) for i in [begin, end) across the pool, blocking until all
 /// iterations complete. Iterations must not race with each other. The first
-/// exception thrown by any iteration is rethrown here.
+/// (lowest-chunk-index) exception thrown by any iteration is rethrown here,
+/// after every chunk has finished.
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   Body body) {
@@ -30,7 +39,15 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  std::exception_ptr first = nullptr;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 /// Maps fn over [0, n) returning the results in index order. fn may run on
@@ -46,7 +63,23 @@ auto parallel_map(ThreadPool& pool, std::size_t n, Fn fn)
   }
   std::vector<Result> out;
   out.reserve(n);
-  for (auto& f : futures) out.push_back(f.get());
+  std::exception_ptr first = nullptr;
+  for (auto& f : futures) {
+    if (first) {
+      // Drain only: a result past the first failure is unusable anyway.
+      try {
+        f.get();
+      } catch (...) {
+      }
+      continue;
+    }
+    try {
+      out.push_back(f.get());
+    } catch (...) {
+      first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
   return out;
 }
 

@@ -1,0 +1,64 @@
+#include "util/failure.hpp"
+
+#include <filesystem>
+#include <ios>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace lsm::util {
+
+const char* to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::Io: return "io";
+    case FailureKind::SolverDiverged: return "solver-diverged";
+    case FailureKind::SolverBudget: return "solver-budget";
+    case FailureKind::InvalidArgument: return "invalid-argument";
+    case FailureKind::JobFault: return "job-fault";
+    case FailureKind::Runtime: return "runtime";
+    case FailureKind::Internal: return "internal";
+  }
+  return "?";
+}
+
+std::string Failure::describe() const {
+  std::string out(to_string(kind));
+  out += ": ";
+  out += message;
+  if (!context.empty()) {
+    out += " [";
+    out += context;
+    out += ']';
+  }
+  return out;
+}
+
+FailureError::FailureError(Failure failure)
+    : Error(failure.describe()), failure_(std::move(failure)) {}
+
+Failure classify_exception(const std::exception& e) {
+  if (const auto* fe = dynamic_cast<const FailureError*>(&e)) {
+    return fe->failure();
+  }
+  Failure f;
+  f.message = e.what();
+  if (dynamic_cast<const std::filesystem::filesystem_error*>(&e) != nullptr ||
+      dynamic_cast<const std::ios_base::failure*>(&e) != nullptr) {
+    f.kind = FailureKind::Io;
+    f.retryable = true;
+  } else if (dynamic_cast<const LogicError*>(&e) != nullptr) {
+    f.kind = FailureKind::Internal;
+  } else if (dynamic_cast<const Error*>(&e) != nullptr) {
+    f.kind = FailureKind::Runtime;
+  } else if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    f.kind = FailureKind::InvalidArgument;
+  } else if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    f.kind = FailureKind::Internal;
+    f.message = "out of memory";
+  } else {
+    f.kind = FailureKind::Internal;
+  }
+  return f;
+}
+
+}  // namespace lsm::util

@@ -1,0 +1,58 @@
+// Structured failure taxonomy for degrade-don't-die execution.
+//
+// A util::Failure says WHAT went wrong (kind), WHERE (context) and
+// whether a retry can plausibly help (retryable). util::FailureError is
+// the throwable carrier — it subclasses util::Error so every existing
+// `catch (const util::Error&)` (and EXPECT_THROW) keeps working, while
+// new code can recover the structured payload instead of parsing what().
+// classify_exception() maps arbitrary in-flight exceptions onto the
+// taxonomy, so job runners can isolate and report any failure uniformly.
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace lsm::util {
+
+enum class FailureKind {
+  Io,               ///< filesystem / stream trouble — typically transient
+  SolverDiverged,   ///< iteration left the basin or produced non-finite state
+  SolverBudget,     ///< eval/wall/horizon budget exhausted before convergence
+  InvalidArgument,  ///< bad configuration or user input
+  JobFault,         ///< failure raised by (or injected into) job code
+  Runtime,          ///< unstructured util::Error from older code paths
+  Internal,         ///< violated invariant / unknown exception type
+};
+
+/// Short kebab-case slug ("io", "solver-budget", ...): the manifest/CSV
+/// vocabulary.
+[[nodiscard]] const char* to_string(FailureKind kind) noexcept;
+
+struct Failure {
+  FailureKind kind = FailureKind::Internal;
+  std::string message;
+  std::string context;  ///< e.g. "model=simple-ws lambda=0.9" or a job id
+  bool retryable = false;
+
+  /// "kind: message [context]" — the what() of a FailureError.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// util::Error subclass carrying a structured Failure.
+class FailureError : public Error {
+ public:
+  explicit FailureError(Failure failure);
+  [[nodiscard]] const Failure& failure() const noexcept { return failure_; }
+
+ private:
+  Failure failure_;
+};
+
+/// Structured view of an arbitrary exception: FailureError payloads pass
+/// through untouched; filesystem/stream errors classify as retryable Io;
+/// everything else maps to a non-retryable kind.
+[[nodiscard]] Failure classify_exception(const std::exception& e);
+
+}  // namespace lsm::util

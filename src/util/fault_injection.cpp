@@ -1,0 +1,154 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/failure.hpp"
+
+namespace lsm::util {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += kGolden;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double clamp01(double p) noexcept {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::CacheLoad: return "cache-load";
+    case FaultSite::CacheStore: return "cache-store";
+    case FaultSite::ArtifactWrite: return "artifact";
+    case FaultSite::SolverDiverge: return "solver";
+    case FaultSite::JobFault: return "job";
+    case FaultSite::SlowJob: return "slow";
+  }
+  return "?";
+}
+
+FaultProfile FaultProfile::parse(const std::string& spec) {
+  FaultProfile profile;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    Failure bad{FailureKind::InvalidArgument,
+                "bad fault profile token '" + token + "'", spec, false};
+    if (eq == std::string::npos) throw FailureError(std::move(bad));
+    const std::string key = token.substr(0, eq);
+    const char* value = token.c_str() + eq + 1;
+    char* rest = nullptr;
+    const double p = clamp01(std::strtod(value, &rest));
+    if (rest == value || *rest != '\0') throw FailureError(std::move(bad));
+    auto set = [&](FaultSite site) {
+      profile.probability[static_cast<std::size_t>(site)] = p;
+    };
+    if (key == "io") {
+      set(FaultSite::CacheLoad);
+      set(FaultSite::CacheStore);
+      set(FaultSite::ArtifactWrite);
+    } else if (key == "cache-load") {
+      set(FaultSite::CacheLoad);
+    } else if (key == "cache-store") {
+      set(FaultSite::CacheStore);
+    } else if (key == "artifact") {
+      set(FaultSite::ArtifactWrite);
+    } else if (key == "solver") {
+      set(FaultSite::SolverDiverge);
+    } else if (key == "job") {
+      set(FaultSite::JobFault);
+    } else if (key == "slow") {
+      set(FaultSite::SlowJob);
+    } else {
+      throw FailureError(std::move(bad));
+    }
+  }
+  return profile;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* seed = std::getenv("LSM_FAULT_SEED");
+  const char* spec = std::getenv("LSM_FAULT_PROFILE");
+  if (seed == nullptr || spec == nullptr) return;
+  FaultProfile profile = FaultProfile::parse(spec);
+  if (const char* only = std::getenv("LSM_FAULT_ONLY")) profile.only = only;
+  configure(std::strtoull(seed, nullptr, 10), std::move(profile));
+}
+
+void FaultInjector::configure(std::uint64_t seed, FaultProfile profile) {
+  seed_ = seed;
+  profile_ = std::move(profile);
+  armed_ = false;
+  for (const double p : profile_.probability) {
+    if (p > 0.0) armed_ = true;
+  }
+}
+
+void FaultInjector::disarm() {
+  armed_ = false;
+  profile_ = FaultProfile{};
+}
+
+double FaultInjector::uniform(FaultSite site, std::string_view context,
+                              std::uint64_t attempt,
+                              std::uint64_t salt) const noexcept {
+  std::uint64_t h = fnv1a(context);
+  h ^= splitmix64(static_cast<std::uint64_t>(site) * kGolden +
+                  attempt * 0x632be59bd9b4e019ULL + salt);
+  h = splitmix64(h ^ splitmix64(seed_));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::should_fail(FaultSite site, std::string_view context,
+                                std::uint64_t attempt) const {
+  if (!armed_) return false;
+  const double p = profile_.probability[static_cast<std::size_t>(site)];
+  if (p <= 0.0) return false;
+  if (!profile_.only.empty() &&
+      context.find(profile_.only) == std::string_view::npos) {
+    return false;
+  }
+  if (uniform(site, context, attempt, 0) >= p) return false;
+  ++fired_;
+  return true;
+}
+
+double FaultInjector::injected_delay(std::string_view context,
+                                     std::uint64_t attempt) const {
+  if (!should_fail(FaultSite::SlowJob, context, attempt)) return 0.0;
+  // 1–21 ms: long enough to scramble completion order across the pool,
+  // short enough to keep fault-injection suites fast.
+  return 0.001 + 0.02 * uniform(FaultSite::SlowJob, context, attempt, 1);
+}
+
+}  // namespace lsm::util

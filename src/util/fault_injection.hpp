@@ -1,0 +1,90 @@
+// Seeded, deterministic fault injection for robustness testing.
+//
+// Every decision is a pure hash of (seed, site, context, attempt): no
+// mutable RNG state, so outcomes are identical regardless of thread
+// schedule or pool width, and a test can PREDICT which jobs will fault
+// by calling should_fail() with the same inputs the production hook
+// uses. The process-wide injector arms itself from the environment —
+//
+//   LSM_FAULT_SEED=1234                     (required to arm)
+//   LSM_FAULT_PROFILE="io=0.1,job=0.5"      (required to arm)
+//   LSM_FAULT_ONLY="lambda=0.8"             (optional context filter)
+//
+// — or explicitly via configure()/disarm() from tests. When disarmed
+// (the default), every hook is a branch on one bool; hot paths guard
+// context-string construction behind armed().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lsm::util {
+
+enum class FaultSite : std::size_t {
+  CacheLoad,      ///< result-cache read: fault = forced miss
+  CacheStore,     ///< result-cache write: fault = retryable Io throw
+  ArtifactWrite,  ///< manifest/CSV emission: fault = retryable Io throw
+  SolverDiverge,  ///< core::solve_fixed_point: fault = forced divergence
+  JobFault,       ///< exp::execute_job: fault = retryable job exception
+  SlowJob,        ///< exp::execute_job: fault = injected delay, no error
+};
+inline constexpr std::size_t kFaultSiteCount = 6;
+
+[[nodiscard]] const char* to_string(FaultSite site) noexcept;
+
+/// Per-site fault probabilities plus an optional context filter.
+struct FaultProfile {
+  double probability[kFaultSiteCount] = {};
+  /// When non-empty, only contexts containing this substring can fault.
+  std::string only;
+
+  /// Parses "io=0.1,job=0.5,solver=1,slow=0.2". Keys: the per-site
+  /// slugs (cache-load, cache-store, artifact, solver, job, slow) plus
+  /// the group key "io" covering all three I/O sites. Probabilities are
+  /// clamped to [0, 1]; unknown keys or unparsable values throw.
+  [[nodiscard]] static FaultProfile parse(const std::string& spec);
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide instance, armed from the environment on first use.
+  [[nodiscard]] static FaultInjector& instance();
+
+  /// Test hook: arm with an explicit seed + profile. Call before any
+  /// parallel work starts — arming is not synchronised against
+  /// concurrent should_fail() callers.
+  void configure(std::uint64_t seed, FaultProfile profile);
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Deterministically decides whether `site` faults for `context` on
+  /// retry number `attempt` (1-based). Pure in (seed, site, context,
+  /// attempt); bumps the fired() counter on a hit.
+  [[nodiscard]] bool should_fail(FaultSite site, std::string_view context,
+                                 std::uint64_t attempt = 1) const;
+
+  /// Injected SlowJob delay in seconds (0 when the site does not fire);
+  /// the duration is itself deterministic in (seed, context, attempt).
+  [[nodiscard]] double injected_delay(std::string_view context,
+                                      std::uint64_t attempt = 1) const;
+
+  /// Number of faults injected so far (observability for tests/tools).
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  FaultInjector();
+
+  [[nodiscard]] double uniform(FaultSite site, std::string_view context,
+                               std::uint64_t attempt,
+                               std::uint64_t salt) const noexcept;
+
+  std::uint64_t seed_ = 0;
+  FaultProfile profile_{};
+  bool armed_ = false;
+  mutable std::atomic<std::uint64_t> fired_{0};
+};
+
+}  // namespace lsm::util

@@ -14,6 +14,8 @@
 #include "exp/spec.hpp"
 #include "exp/sweep.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
+#include "util/fault_injection.hpp"
 
 namespace {
 
@@ -234,11 +236,140 @@ TEST(ResultCache, CorruptEntryIsAMiss) {
   EXPECT_FALSE(cache.load("deadbeefdeadbeef", again));
 }
 
+TEST(ResultCache, TruncatedEntryIsQuarantinedAndRepairable) {
+  const TempDir dir("truncated");
+  const exp::ResultCache cache(dir.path.string());
+  exp::JobResult r;
+  r.has_estimate = true;
+  r.est_sojourn = 2.25;
+  cache.store("cafebabecafebabe", r);
+  const auto path = dir.path / "cafebabecafebabe.job";
+
+  // Cut the file mid-way, as a crash between write and rename never can
+  // but a torn copy / disk fault could: the integrity footer is gone.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(content.size(), 10u);
+  std::ofstream(path, std::ios::trunc | std::ios::binary)
+      << content.substr(0, content.size() / 2);
+
+  exp::JobResult loaded;
+  EXPECT_FALSE(cache.load("cafebabecafebabe", loaded));
+  EXPECT_EQ(cache.quarantined(), 1u);
+  // The corrupt file was renamed aside for inspection, not left in place.
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(dir.path / "cafebabecafebabe.job.quarantined"));
+
+  // The slot is usable again: store + load round-trips.
+  cache.store("cafebabecafebabe", r);
+  EXPECT_TRUE(cache.load("cafebabecafebabe", loaded));
+  EXPECT_EQ(loaded.est_sojourn, 2.25);
+}
+
+TEST(ResultCache, TamperedValueFailsTheFooter) {
+  const TempDir dir("tampered");
+  const exp::ResultCache cache(dir.path.string());
+  exp::JobResult r;
+  r.has_estimate = true;
+  r.est_sojourn = 1.5;
+  cache.store("0123456789abcdef", r);
+  const auto path = dir.path / "0123456789abcdef.job";
+
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const auto pos = content.find("est_sojourn 1.5");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, 15, "est_sojourn 9.5");
+  std::ofstream(path, std::ios::trunc | std::ios::binary) << content;
+
+  exp::JobResult loaded;
+  EXPECT_FALSE(cache.load("0123456789abcdef", loaded));
+  EXPECT_EQ(cache.quarantined(), 1u);
+}
+
+TEST(ResultCache, OlderFormatVersionIsAPlainMissNotQuarantine) {
+  const TempDir dir("oldver");
+  const exp::ResultCache cache(dir.path.string());
+  const auto path = dir.path / "feedface01234567.job";
+  fs::create_directories(dir.path);
+  std::ofstream(path) << "lsm-job 2\nhas_estimate 1\nest_sojourn 1.5\n";
+
+  // A stale-but-well-formed header is an ordinary miss: the entry is from
+  // another format generation, not corrupt, so it is left alone.
+  exp::JobResult loaded;
+  EXPECT_FALSE(cache.load("feedface01234567", loaded));
+  EXPECT_EQ(cache.quarantined(), 0u);
+  EXPECT_TRUE(fs::exists(path));
+}
+
 TEST(ResultCache, DisabledCacheNeverHits) {
   const exp::ResultCache cache("");
   exp::JobResult r;
   cache.store("0123456789abcdef", r);  // no-op
   EXPECT_FALSE(cache.load("0123456789abcdef", r));
+}
+
+TEST(ResultCache, InjectedFaultsDegradeLoadAndFailStore) {
+  struct InjectorGuard {
+    ~InjectorGuard() { util::FaultInjector::instance().disarm(); }
+  } guard;
+  const TempDir dir("cache-faults");
+  const exp::ResultCache cache(dir.path.string());
+  exp::JobResult r;
+  r.has_estimate = true;
+  r.est_sojourn = 3.0;
+  cache.store("abcdefabcdefabcd", r);
+
+  auto& inj = util::FaultInjector::instance();
+  // A load fault is a forced miss: the intact file stays on disk and is
+  // readable again the moment the injector disarms.
+  inj.configure(1, util::FaultProfile::parse("cache-load=1"));
+  exp::JobResult loaded;
+  EXPECT_FALSE(cache.load("abcdefabcdefabcd", loaded));
+  EXPECT_TRUE(fs::exists(dir.path / "abcdefabcdefabcd.job"));
+  EXPECT_EQ(cache.quarantined(), 0u);
+
+  // A store fault throws the structured retryable Io failure.
+  inj.configure(1, util::FaultProfile::parse("cache-store=1"));
+  try {
+    cache.store("abcdefabcdefabcd", r);
+    FAIL() << "expected util::FailureError";
+  } catch (const util::FailureError& e) {
+    EXPECT_EQ(e.failure().kind, util::FailureKind::Io);
+    EXPECT_TRUE(e.failure().retryable);
+  }
+
+  inj.disarm();
+  EXPECT_TRUE(cache.load("abcdefabcdefabcd", loaded));
+  EXPECT_EQ(loaded.est_sojourn, 3.0);
+}
+
+TEST(RunReport, LookupToleratesGridArithmeticLambdas) {
+  exp::RunReport report;
+  report.spec_name = "ulp";
+  exp::JobResult r;
+  r.label = "x";
+  // The way λ grids are actually built: accumulated steps. Nine 0.1
+  // increments land one ulp BELOW the 0.9 literal a caller passes.
+  r.lambda = 0.0;
+  for (int i = 0; i < 9; ++i) r.lambda += 0.1;
+  r.has_estimate = true;
+  r.est_sojourn = 1.25;
+  report.results.push_back(r);
+  ASSERT_NE(r.lambda, 0.9);  // the literal the caller will pass
+
+  // Exact-equality lookup would throw here; the ulp-tolerant one finds it
+  // from either representation.
+  EXPECT_EQ(report.at("x", 0.9).est_sojourn, 1.25);
+  EXPECT_EQ(report.at("x", r.lambda).est_sojourn, 1.25);
+  EXPECT_EQ(report.estimate("x", 0.9), 1.25);
+  // Distinct grid points still never alias.
+  EXPECT_THROW((void)report.at("x", 0.8), util::Error);
+  EXPECT_THROW((void)report.at("y", 0.9), util::Error);
 }
 
 // --- warm-started λ-sweep runner ---------------------------------------

@@ -150,6 +150,70 @@ TEST(ParallelMap, PreservesIndexOrder) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * i);
 }
 
+
+TEST(ParallelFor, DrainsAllTasksBeforeRethrowing) {
+  // The body reference lives in the caller's frame; rethrowing before
+  // every task finished would leave workers calling through a dangling
+  // reference while the frame unwinds. Throw early (index 0 is picked up
+  // first) while later tasks are still running, then verify every index
+  // was either fully executed or never started — none torn.
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    par::parallel_for(pool, 0, hits.size(), [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early");
+      ++hits[i];
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "early");
+  }
+  for (const auto& h : hits) {
+    EXPECT_TRUE(h.load() == 0 || h.load() == 1);
+  }
+  // The pool is reusable afterwards: no task of the failed call lingers.
+  std::atomic<std::size_t> sum{0};
+  par::parallel_for(pool, 0, 100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsUnderConcurrentThrows) {
+  // Multiple chunks throw; the caller must deterministically observe the
+  // first (lowest-index) failure regardless of completion order.
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      par::parallel_for(pool, 0, 64, [&](std::size_t i) {
+        if (i % 16 == 0) {
+          throw std::runtime_error("i=" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "i=0");
+    }
+  }
+}
+
+TEST(ParallelMap, DrainsAndStaysUsableAfterException) {
+  par::ThreadPool pool(4);
+  EXPECT_THROW((void)par::parallel_map(pool, 32,
+                                       [](std::size_t i) -> int {
+                                         if (i == 3) {
+                                           throw std::runtime_error("boom");
+                                         }
+                                         return static_cast<int>(i);
+                                       }),
+               std::runtime_error);
+  const auto out = par::parallel_map(pool, 8, [](std::size_t i) {
+    return static_cast<int>(i) + 1;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
 TEST(RngStreams, StreamsAreDeterministic) {
   par::RngStreams streams(1234);
   auto a = streams.stream(3);
