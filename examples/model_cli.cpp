@@ -27,8 +27,13 @@ void print_model_list() {
   for (const auto& spec : lsm::core::model_specs()) {
     std::cout << "  " << spec.name << " -- " << spec.description << "\n";
     for (const auto& p : spec.params) {
-      std::cout << "      --" << p.key << "=" << p.fallback << "  " << p.doc
-                << "\n";
+      std::cout << "      --" << p.key << "=";
+      if (p.kind == lsm::core::ParamSpec::Kind::Distribution) {
+        std::cout << p.fallback_text;
+      } else {
+        std::cout << p.fallback;
+      }
+      std::cout << "  " << p.doc << "\n";
     }
   }
 }
@@ -63,7 +68,12 @@ int main(int argc, char** argv) {
         throw lsm::util::Error("model '" + name + "' does not take --" + key +
                                " (see --list)");
       }
-      params[key] = args.get(key, spec.fallback(key));
+      const auto& ps = spec.param(key);
+      if (ps.kind == lsm::core::ParamSpec::Kind::Distribution) {
+        params[key] = args.get(key, ps.fallback_text);
+      } else {
+        params[key] = args.get(key, ps.fallback);
+      }
     }
 
     const auto model = lsm::core::make_model(name, lambda, params);
@@ -95,7 +105,13 @@ int main(int argc, char** argv) {
       doc["model"] = model->name();
       doc["lambda"] = lambda;
       auto params_json = lsm::util::Json::object();
-      for (const auto& [key, value] : params) params_json[key] = value;
+      for (const auto& [key, value] : params) {
+        if (value.is_text) {
+          params_json[key] = value.text;
+        } else {
+          params_json[key] = value.number;
+        }
+      }
       doc["params"] = std::move(params_json);
       doc["residual"] = fp.residual;
       doc["polished"] = fp.polished;
@@ -107,7 +123,7 @@ int main(int argc, char** argv) {
       doc["wall_seconds"] = wall_seconds;
       doc["mean_sojourn"] = model->mean_sojourn(fp.state);
       doc["mean_tasks"] = model->mean_tasks(fp.state);
-      doc["busy_fraction"] = lsm::core::busy_fraction(fp.state);
+      doc["busy_fraction"] = model->busy_fraction(fp.state);
       if (model->dimension() <= 1500) {
         const auto s = lsm::analysis::dominant_relaxation_mode(*model, fp.state);
         if (s.converged) {
@@ -133,7 +149,7 @@ int main(int argc, char** argv) {
               << fp.final_truncation << "\n"
               << "E[time in system]: " << model->mean_sojourn(fp.state) << "\n"
               << "E[tasks/processor]: " << model->mean_tasks(fp.state) << "\n"
-              << "busy fraction    : " << lsm::core::busy_fraction(fp.state)
+              << "busy fraction    : " << model->busy_fraction(fp.state)
               << "\n";
     if (model->dimension() <= 1500) {
       const auto spec_mode =

@@ -10,6 +10,7 @@
 #   SKIP_PERF=1 scripts/check.sh   # skip the perf smokes
 #   SKIP_PROPERTIES=1 scripts/check.sh  # skip the full-grid property pass
 #   SKIP_FAULTS=1 scripts/check.sh # skip the fault-injection leg
+#   SKIP_PHASE_TYPE=1 scripts/check.sh  # skip the phase-type service leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,13 +54,36 @@ if [ "${SKIP_FAULTS:-0}" != "1" ]; then
   grep -q '"kind": "solver-budget"' "$fault_tmp/cli.json"
 fi
 
+if [ "${SKIP_PHASE_TYPE:-0}" != "1" ]; then
+  # The phase-type service axis: the closed-form/reduction suite, then
+  # the SCV-sweep bench on its smoke grid (2 SCVs x 2 lambdas,
+  # mean-field only) under an armed fault injector — the table and the
+  # flip/agreement summary must still render and the process exit 0.
+  echo "== phase-type: closed-form suite + SCV sweep smoke under faults"
+  ./build/tests/test_phase_type
+  pt_tmp="$(mktemp -d)"
+  LSM_SCV_SMOKE=1 \
+    LSM_FAULT_SEED=20260808 LSM_FAULT_PROFILE="io=0.1,job=0.5,slow=0.2" \
+    LSM_ON_FAILURE=report \
+    LSM_CACHE_DIR="$pt_tmp/cache" LSM_ARTIFACTS="$pt_tmp/artifacts" \
+    ./build/bench/fig_scv_flip | tee "$pt_tmp/scv.out"
+  grep -q "lambda" "$pt_tmp/scv.out"
+  grep -q "flip:" "$pt_tmp/scv.out"
+  rm -rf "$pt_tmp"
+fi
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "== tsan: work-stealing pool + runner determinism under -fsanitize=thread"
   cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_parallel test_exp_runner test_fault_injection
+  cmake --build build-tsan -j "$jobs" --target test_phase_type
   ./build-tsan/tests/test_parallel
+  # Replicated phase-type sampling fans the new alias-table sampler
+  # across the pool.
+  ./build-tsan/tests/test_phase_type \
+    --gtest_filter='PhaseTypeSimulation.*:ServiceDistribution.*'
   ./build-tsan/tests/test_exp_runner \
     --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable:SweepRunner.ManifestIsIdenticalAcrossPoolWidths:SweepRunner.MixedSimAndEstimateEntriesMergeIntoOneReport'
   # Faulted runs add retry/backoff + failure merging on the pool paths.
@@ -72,13 +96,14 @@ if [ "${SKIP_UBSAN:-0}" != "1" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-ubsan -j "$jobs" \
     --target test_ode test_implicit test_anderson test_hot_loop_alloc \
-    test_model_fixed_point
+    test_model_fixed_point test_phase_type
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
   ./build-ubsan/tests/test_ode
   ./build-ubsan/tests/test_implicit
   ./build-ubsan/tests/test_anderson
   ./build-ubsan/tests/test_hot_loop_alloc
   ./build-ubsan/tests/test_model_fixed_point
+  ./build-ubsan/tests/test_phase_type
 fi
 
 if [ "${SKIP_PERF:-0}" != "1" ]; then

@@ -85,6 +85,12 @@ class MeanFieldModel : public ode::OdeSystem {
   /// E[T] = E[N] / lambda. The quantity reported in the paper's tables.
   [[nodiscard]] virtual double mean_sojourn(const ode::State& s) const;
 
+  /// Fraction of busy (load >= 1) processors: s_1 for the plain tail
+  /// layout; phase-type models sum their per-phase occupancies.
+  [[nodiscard]] virtual double busy_fraction(const ode::State& s) const {
+    return s[1];
+  }
+
   /// Clamp to [0,1], pin s_0 = 1, restore the non-increasing tail property.
   /// Overridden by models whose state is not a single monotone tail vector.
   void project(ode::State& s) const override;

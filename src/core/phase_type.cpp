@@ -1,0 +1,454 @@
+#include "core/phase_type.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+namespace {
+
+/// Solves A x = b for a small dense p x p system by Gaussian elimination
+/// with partial pivoting; A is row-major and clobbered.
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+  const std::size_t p = b.size();
+  LSM_ASSERT(a.size() == p * p);
+  for (std::size_t col = 0; col < p; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < p; ++r) {
+      if (std::abs(a[r * p + col]) > std::abs(a[pivot * p + col])) pivot = r;
+    }
+    LSM_EXPECT(std::abs(a[pivot * p + col]) > 0.0,
+               "phase-type sub-generator is singular");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < p; ++k) {
+        std::swap(a[col * p + k], a[pivot * p + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < p; ++r) {
+      const double f = a[r * p + col] / a[col * p + col];
+      if (f == 0.0) continue;
+      for (std::size_t k = col; k < p; ++k) a[r * p + k] -= f * a[col * p + k];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t r = p; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t k = r + 1; k < p; ++k) acc -= a[r * p + k] * b[k];
+    b[r] = acc / a[r * p + r];
+  }
+  return b;
+}
+
+std::string scv_label(const char* head, double scv) {
+  std::string s = head;
+  s += "(scv=";
+  s += util::Json::number_to_string(scv);
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  LSM_EXPECT(n >= 1, "alias table needs at least one outcome");
+  double total = 0.0;
+  for (const double w : weights) {
+    LSM_EXPECT(w >= 0.0, "alias table weights must be non-negative");
+    total += w;
+  }
+  LSM_EXPECT(total > 0.0, "alias table weights sum to zero");
+  accept_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  // Vose's method: split outcomes into under/over-full bins of the
+  // uniform average, pairing each under-full bin with an over-full donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly full up to rounding.
+  for (const std::size_t i : large) accept_[i] = 1.0;
+  for (const std::size_t i : small) accept_[i] = 1.0;
+}
+
+double AliasTable::probability(std::size_t outcome) const {
+  const std::size_t n = accept_.size();
+  LSM_EXPECT(outcome < n, "alias outcome out of range");
+  if (n <= 1) return 1.0;
+  double p = accept_[outcome];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != outcome && alias_[i] == outcome) p += 1.0 - accept_[i];
+  }
+  return p / static_cast<double>(n);
+}
+
+PhaseType::PhaseType(std::vector<double> alpha, std::vector<double> subgen,
+                     std::string label)
+    : alpha_(std::move(alpha)), S_(std::move(subgen)),
+      label_(std::move(label)) {
+  const std::size_t p = alpha_.size();
+  LSM_EXPECT(p >= 1, "phase-type distribution needs at least one phase");
+  LSM_EXPECT(S_.size() == p * p, "sub-generator must be p x p");
+  double mass = 0.0;
+  for (const double a : alpha_) {
+    LSM_EXPECT(a >= 0.0, "initial phase probabilities must be >= 0");
+    mass += a;
+  }
+  LSM_EXPECT(std::abs(mass - 1.0) < 1e-12,
+             "initial phase probabilities must sum to 1");
+  exit_.assign(p, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double out = 0.0;
+    for (std::size_t k = 0; k < p; ++k) {
+      const double v = S_[j * p + k];
+      if (k == j) {
+        LSM_EXPECT(v < 0.0, "sub-generator diagonal must be negative");
+      } else {
+        LSM_EXPECT(v >= 0.0, "sub-generator off-diagonals must be >= 0");
+        out += v;
+      }
+    }
+    const double t = -S_[j * p + j] - out;
+    LSM_EXPECT(t >= -1e-12 * -S_[j * p + j],
+               "sub-generator row sums must be <= 0");
+    exit_[j] = std::max(t, 0.0);
+  }
+  // Moments: x = (-S)^{-1} 1 gives mean = alpha . x, and
+  // y = (-S)^{-1} x gives m2 = 2 alpha . y.
+  std::vector<double> neg(p * p);
+  for (std::size_t i = 0; i < p * p; ++i) neg[i] = -S_[i];
+  const auto x = solve_dense(neg, std::vector<double>(p, 1.0));
+  const auto y = solve_dense(neg, x);
+  mean_ = 0.0;
+  m2_ = 0.0;
+  for (std::size_t j = 0; j < p; ++j) {
+    mean_ += alpha_[j] * x[j];
+    m2_ += 2.0 * alpha_[j] * y[j];
+  }
+  LSM_EXPECT(mean_ > 0.0, "phase-type mean must be positive");
+  if (label_.empty()) label_ = "ph(" + std::to_string(p) + ")";
+}
+
+PhaseType PhaseType::exponential(double mean) {
+  LSM_EXPECT(mean > 0.0, "service mean must be positive");
+  return PhaseType({1.0}, {-1.0 / mean}, "exp");
+}
+
+PhaseType PhaseType::erlang(std::size_t stages, double mean) {
+  LSM_EXPECT(stages >= 1, "Erlang needs at least one stage");
+  LSM_EXPECT(mean > 0.0, "service mean must be positive");
+  if (stages == 1) return exponential(mean);
+  const std::size_t p = stages;
+  const double rate = static_cast<double>(p) / mean;
+  std::vector<double> alpha(p, 0.0);
+  alpha[0] = 1.0;
+  std::vector<double> s(p * p, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    s[j * p + j] = -rate;
+    if (j + 1 < p) s[j * p + j + 1] = rate;
+  }
+  return PhaseType(std::move(alpha), std::move(s),
+                   "erlang(" + std::to_string(p) + ")");
+}
+
+PhaseType PhaseType::hyperexp(double scv, double mean) {
+  LSM_EXPECT(mean > 0.0, "service mean must be positive");
+  LSM_EXPECT(scv >= 1.0, "hyperexponential requires scv >= 1");
+  if (scv == 1.0) return exponential(mean);
+  // Balanced means: p1/mu1 = p2/mu2 = mean/2.
+  const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double p2 = 1.0 - p1;
+  const double mu1 = 2.0 * p1 / mean;
+  const double mu2 = 2.0 * p2 / mean;
+  return PhaseType({p1, p2}, {-mu1, 0.0, 0.0, -mu2}, scv_label("h2", scv));
+}
+
+PhaseType PhaseType::coxian(std::size_t stages, double scv, double mean) {
+  LSM_EXPECT(stages >= 1, "Coxian needs at least one stage");
+  LSM_EXPECT(mean > 0.0, "service mean must be positive");
+  LSM_EXPECT(scv > 0.0, "scv must be positive");
+  if (stages == 1) {
+    LSM_EXPECT(std::abs(scv - 1.0) < 1e-12,
+               "a single-phase Coxian is exponential (scv = 1)");
+    return exponential(mean);
+  }
+  const std::string label = "coxian(" + std::to_string(stages) +
+                            ",scv=" + util::Json::number_to_string(scv) + ")";
+  if (stages == 2) {
+    // Marie's two-moment Coxian-2, valid for scv >= 0.5.
+    LSM_EXPECT(scv >= 0.5, "coxian(2, scv) requires scv >= 0.5");
+    if (scv == 1.0) return exponential(mean);
+    const double mu1 = 2.0 / mean;
+    const double q = 0.5 / scv;  ///< continue to phase 2 with prob q
+    const double mu2 = 1.0 / (scv * mean);
+    return PhaseType({1.0, 0.0}, {-mu1, q * mu1, 0.0, -mu2}, label);
+  }
+  // stages >= 3: chain of equal-rate phases with a geometric continuation
+  // probability b after each of the first stages-1 phases. The phase
+  // count N then satisfies c2(N) = (Var N + E N) / (E N)^2, which slides
+  // monotonically from 1 (b -> 0, N = 1) to 1/stages (b = 1, N = stages);
+  // bisect b for the target scv, then scale the common rate to the mean.
+  LSM_EXPECT(scv <= 1.0 && scv >= 1.0 / static_cast<double>(stages),
+             "coxian(k, scv) with k >= 3 requires scv in [1/k, 1]");
+  const std::size_t p = stages;
+  const auto chain_scv = [p](double b) {
+    // P(N = n) = (1-b) b^{n-1} for n < p, P(N = p) = b^{p-1}.
+    double en = 0.0;
+    double enn = 0.0;  // E[N^2]
+    double prob_tail = 1.0;
+    for (std::size_t n = 1; n < p; ++n) {
+      const double pn = prob_tail * (1.0 - b);
+      en += static_cast<double>(n) * pn;
+      enn += static_cast<double>(n * n) * pn;
+      prob_tail *= b;
+    }
+    en += static_cast<double>(p) * prob_tail;
+    enn += static_cast<double>(p * p) * prob_tail;
+    return (enn + en) / (en * en) - 1.0;  // c2 of the Exp-phase sum
+  };
+  double lo = 0.0;
+  double hi = 1.0;  // chain_scv(0) = 1 >= scv >= chain_scv(1) = 1/p
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (chain_scv(mid) >= scv ? lo : hi) = mid;
+  }
+  const double b = 0.5 * (lo + hi);
+  double en = 0.0;
+  double prob_tail = 1.0;
+  for (std::size_t n = 1; n < p; ++n) {
+    en += static_cast<double>(n) * prob_tail * (1.0 - b);
+    prob_tail *= b;
+  }
+  en += static_cast<double>(p) * prob_tail;
+  const double rate = en / mean;
+  std::vector<double> alpha(p, 0.0);
+  alpha[0] = 1.0;
+  std::vector<double> s(p * p, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    s[j * p + j] = -rate;
+    if (j + 1 < p) s[j * p + j + 1] = b * rate;
+  }
+  return PhaseType(std::move(alpha), std::move(s), label);
+}
+
+PhaseType PhaseType::heavy_tail(double scv, double mean, std::size_t branches) {
+  LSM_EXPECT(mean > 0.0, "service mean must be positive");
+  LSM_EXPECT(scv > 1.0, "heavy_tail requires scv > 1");
+  LSM_EXPECT(branches >= 2, "heavy_tail needs at least two branches");
+  const std::size_t k = branches;
+  // Branch rates theta^{i} for i = 0..k-1; mixing weights kappa^{i}. The
+  // rate spacing theta is widened until the uniform mixture (kappa = 1)
+  // overshoots the target scv, guaranteeing the kappa-bisection brackets.
+  const auto mixture_scv = [k](double theta, double kappa) {
+    double mass = 0.0;
+    double m1 = 0.0;
+    double m2 = 0.0;
+    double w = 1.0;
+    double inv_rate = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      mass += w;
+      m1 += w * inv_rate;
+      m2 += 2.0 * w * inv_rate * inv_rate;
+      w *= kappa;
+      inv_rate /= theta;
+    }
+    m1 /= mass;
+    m2 /= mass;
+    return m2 / (m1 * m1) - 1.0;
+  };
+  // Widen the rate spacing until some mixing ratio overshoots the target
+  // scv. The scv is not maximal at kappa = 1: rare-slow-branch mixtures
+  // (small kappa) dominate the second moment, and their scv grows without
+  // bound as theta -> 0, so this always terminates.
+  double theta = 0.5;
+  double kappa_hi = 1.0;
+  for (;;) {
+    double best = 0.0;
+    double best_kappa = 1.0;
+    for (double kap = 1.0; kap > 1e-10; kap *= 0.7) {
+      const double v = mixture_scv(theta, kap);
+      if (v > best) {
+        best = v;
+        best_kappa = kap;
+      }
+    }
+    if (best >= 1.5 * scv) {
+      kappa_hi = best_kappa;
+      break;
+    }
+    theta *= 0.6;
+    LSM_EXPECT(theta > 1e-12, "heavy_tail fit failed to bracket scv");
+  }
+  // kappa -> 0 concentrates on the fast branch (scv -> 1 < target), so
+  // [0, kappa_hi] brackets a crossing.
+  double lo = 0.0;
+  double hi = kappa_hi;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (mixture_scv(theta, mid) < scv ? lo : hi) = mid;
+  }
+  const double kappa = 0.5 * (lo + hi);
+  std::vector<double> weights(k);
+  std::vector<double> inv_rates(k);
+  double mass = 0.0;
+  double m1 = 0.0;
+  {
+    double w = 1.0;
+    double inv_rate = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      weights[i] = w;
+      inv_rates[i] = inv_rate;
+      mass += w;
+      m1 += w * inv_rate;
+      w *= kappa;
+      inv_rate /= theta;
+    }
+  }
+  m1 /= mass;
+  const double scale = m1 / mean;  ///< multiply rates to land on `mean`
+  std::vector<double> alpha(k);
+  std::vector<double> s(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    alpha[i] = weights[i] / mass;
+    s[i * k + i] = -scale / inv_rates[i];
+  }
+  return PhaseType(std::move(alpha), std::move(s),
+                   "ht(scv=" + util::Json::number_to_string(scv) +
+                       ",k=" + std::to_string(k) + ")");
+}
+
+PhaseType PhaseType::general(std::vector<double> alpha,
+                             std::vector<double> subgen, std::string label) {
+  return PhaseType(std::move(alpha), std::move(subgen), std::move(label));
+}
+
+bool PhaseType::is_erlang() const {
+  const std::size_t p = phases();
+  if (p == 1) return true;
+  if (alpha_[0] != 1.0) return false;
+  const double rate = -S_[0];
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t k = 0; k < p; ++k) {
+      const double v = S_[j * p + k];
+      if (k == j) {
+        if (v != -rate) return false;
+      } else if (k == j + 1) {
+        if (v != rate) return false;
+      } else if (v != 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+util::Json PhaseType::canonical() const {
+  auto j = util::Json::object();
+  j["p"] = phases();
+  auto a = util::Json::array();
+  for (const double v : alpha_) a.push_back(v);
+  j["alpha"] = std::move(a);
+  auto s = util::Json::array();
+  for (const double v : S_) s.push_back(v);
+  j["S"] = std::move(s);
+  return j;
+}
+
+double PhaseType::sample_slow(util::Xoshiro256& rng) const {
+  const std::size_t p = phases();
+  const AliasTable init(alpha_);
+  std::vector<AliasTable> next;
+  next.reserve(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    std::vector<double> w(p + 1, 0.0);
+    for (std::size_t k = 0; k < p; ++k) {
+      if (k != j) w[k] = subgen(j, k);
+    }
+    w[p] = exit_[j];
+    next.emplace_back(w);
+  }
+  std::size_t j = init.sample(rng);
+  double acc = 0.0;
+  for (;;) {
+    acc += rng.exponential(1.0 / total_rate(j));
+    const std::size_t nxt = next[j].sample(rng);
+    if (nxt == p) return acc;
+    j = nxt;
+  }
+}
+
+PhaseType parse_service(const std::string& spec) {
+  const auto fail = [&spec]() -> PhaseType {
+    throw util::Error(
+        "bad service spec '" + spec +
+        "' (grammar: exp | erlang:k | hyperexp:scv | coxian:k,scv | "
+        "heavytail:scv[,k])");
+  };
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  std::vector<double> args;
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+      const auto comma = rest.find(',', pos);
+      const std::string tok =
+          rest.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      try {
+        std::size_t used = 0;
+        const double v = std::stod(tok, &used);
+        if (used != tok.size() || tok.empty()) return fail();
+        args.push_back(v);
+      } catch (const std::exception&) {
+        return fail();
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  const auto integer = [&fail](double v) -> std::size_t {
+    if (v < 1.0 || v != std::floor(v) || v > 1e6) (void)fail();
+    return static_cast<std::size_t>(v);
+  };
+  try {
+    if (head == "exp" && args.empty()) return PhaseType::exponential();
+    if (head == "erlang" && args.size() == 1) {
+      return PhaseType::erlang(integer(args[0]));
+    }
+    if ((head == "hyperexp" || head == "h2") && args.size() == 1) {
+      return PhaseType::hyperexp(args[0]);
+    }
+    if (head == "coxian" && args.size() == 2) {
+      return PhaseType::coxian(integer(args[0]), args[1]);
+    }
+    if (head == "heavytail" && (args.size() == 1 || args.size() == 2)) {
+      return PhaseType::heavy_tail(args[0], 1.0,
+                                   args.size() == 2 ? integer(args[1]) : 4);
+    }
+  } catch (const util::LogicError&) {
+    throw;  // factory rejected the parameters: keep its specific message
+  }
+  return fail();
+}
+
+}  // namespace lsm::core

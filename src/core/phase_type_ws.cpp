@@ -1,0 +1,431 @@
+#include "core/phase_type_ws.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lsm::core {
+
+std::size_t phase_type_truncation(double lambda, double scv) {
+  // Near saturation the per-task decay ratio of an M/PH/1-like tail is
+  // about 1 - 2 (1 - rho) / (1 + scv) (Pollaczek-Khinchine heavy-traffic
+  // scaling); at light load the M/M/1 ratio lambda dominates.
+  const double spread = std::max(scv, 1.0);
+  const double eta = std::clamp(
+      std::max(lambda, 1.0 - 2.0 * (1.0 - lambda) / (1.0 + spread)), 0.05,
+      0.9995);
+  const double needed = std::log(1e-13) / std::log(eta);
+  return static_cast<std::size_t>(std::clamp(needed + 8.0, 48.0, 3072.0));
+}
+
+PhaseTypeModelBase::PhaseTypeModelBase(double lambda, PhaseType service,
+                                       std::size_t threshold,
+                                       std::size_t truncation)
+    : MeanFieldModel(lambda, truncation != 0
+                                 ? truncation
+                                 : phase_type_truncation(lambda, service.scv()) +
+                                       threshold),
+      service_(std::move(service)),
+      threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
+  LSM_EXPECT(lambda * service_.mean() < 1.0,
+             "model is unstable for lambda * E[service] >= 1");
+  LSM_EXPECT(trunc_ > threshold_ + 2, "truncation too small for threshold");
+}
+
+ode::State PhaseTypeModelBase::empty_state() const {
+  const std::size_t W = trunc_ + 1;
+  ode::State s(dimension(), 0.0);
+  for (std::size_t j = 0; j < service_.phases(); ++j) {
+    s[j * W] = service_.alpha()[j];
+  }
+  return s;
+}
+
+ode::State PhaseTypeModelBase::mm1_state() const {
+  const std::size_t W = trunc_ + 1;
+  const double rho = std::min(lambda_ * service_.mean(), 0.999);
+  ode::State s(dimension(), 0.0);
+  for (std::size_t j = 0; j < service_.phases(); ++j) {
+    const double aj = service_.alpha()[j];
+    s[j * W] = aj;
+    double tail = aj;
+    for (std::size_t i = 1; i <= trunc_; ++i) {
+      tail *= rho;
+      s[j * W + i] = tail;
+    }
+  }
+  return s;
+}
+
+void PhaseTypeModelBase::project(ode::State& s) const {
+  const std::size_t W = trunc_ + 1;
+  const std::size_t p = service_.phases();
+  for (std::size_t j = 0; j < p; ++j) {
+    project_segment(s, j * W, (j + 1) * W, -1.0);
+  }
+  const double idle = std::max(0.0, 1.0 - busy(s));
+  for (std::size_t j = 0; j < p; ++j) {
+    s[j * W] = s[j * W + 1] + service_.alpha()[j] * idle;
+  }
+}
+
+void PhaseTypeModelBase::root_residual(const ode::State& s,
+                                       ode::State& f) const {
+  deriv(0.0, s, f);
+  // The head rows are slaved to the tails; replace them with the slaving
+  // constraints themselves (identity Jacobian block in the heads).
+  const std::size_t W = trunc_ + 1;
+  const double idle = 1.0 - busy(s);
+  for (std::size_t j = 0; j < service_.phases(); ++j) {
+    f[j * W] = s[j * W] - s[j * W + 1] - service_.alpha()[j] * idle;
+  }
+}
+
+double PhaseTypeModelBase::mean_tasks(const ode::State& s) const {
+  const std::size_t W = trunc_ + 1;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < service_.phases(); ++j) {
+    for (std::size_t i = trunc_; i >= 1; --i) acc += s[j * W + i];
+  }
+  return acc;
+}
+
+double PhaseTypeModelBase::busy(const ode::State& s) const {
+  const std::size_t W = trunc_ + 1;
+  double b = 0.0;
+  for (std::size_t k = 0; k < service_.phases(); ++k) b += s[k * W + 1];
+  return b;
+}
+
+double PhaseTypeModelBase::service_flux(const ode::State& x, std::size_t i,
+                                        std::size_t j) const {
+  const std::size_t p = service_.phases();
+  const auto& t = service_.exit_rates();
+  double mix = 0.0;
+  double exits = 0.0;
+  for (std::size_t k = 0; k < p; ++k) {
+    mix += service_.subgen(k, j) * u(x, i, k);
+    exits += t[k] * u(x, i + 1, k);
+  }
+  return mix + service_.alpha()[j] * exits;
+}
+
+void PhaseTypeModelBase::head_derivs(ode::State& dx) const {
+  const std::size_t W = trunc_ + 1;
+  const std::size_t p = service_.phases();
+  double db = 0.0;
+  for (std::size_t k = 0; k < p; ++k) db += dx[k * W + 1];
+  for (std::size_t j = 0; j < p; ++j) {
+    dx[j * W] = dx[j * W + 1] - service_.alpha()[j] * db;
+  }
+}
+
+PhaseTypeWS::PhaseTypeWS(double lambda, PhaseType service,
+                         std::size_t threshold, std::size_t truncation)
+    : PhaseTypeModelBase(lambda, std::move(service), threshold, truncation) {
+  LSM_EXPECT(threshold != 1, "steal threshold must be 0 (off) or >= 2");
+}
+
+std::string PhaseTypeWS::name() const {
+  return threshold_ == 0
+             ? "ph-queue(svc=" + service_.label() + ")"
+             : "ph-ws(T=" + std::to_string(threshold_) +
+                   ",svc=" + service_.label() + ")";
+}
+
+void PhaseTypeWS::deriv(double /*t*/, const ode::State& x,
+                        ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t W = L + 1;
+  const std::size_t p = service_.phases();
+  const std::size_t T = threshold_;
+  LSM_ASSERT(x.size() == p * W && dx.size() == p * W);
+  const auto& alpha = service_.alpha();
+  const auto& t = service_.exit_rates();
+
+  const double idle = 1.0 - busy(x);
+  double steal_rate = 0.0;  // R: processors completing their final task
+  double success = 0.0;     // s_T: victims holding >= T tasks
+  if (T > 0) {
+    for (std::size_t k = 0; k < p; ++k) {
+      steal_rate += t[k] * (x[k * W + 1] - u(x, 2, k));
+      success += u(x, T, k);
+    }
+  }
+
+  for (std::size_t i = 1; i <= L; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      double d = service_flux(x, i, j);
+      d += i == 1 ? lambda_ * alpha[j] * idle
+                  : lambda_ * (x[j * W + i - 1] - x[j * W + i]);
+      if (T > 0) {
+        if (i == 1) d += steal_rate * success * alpha[j];
+        if (i >= T) d -= steal_rate * (x[j * W + i] - u(x, i + 1, j));
+      }
+      dx[j * W + i] = d;
+    }
+  }
+  head_derivs(dx);
+}
+
+double PhaseTypeWS::message_rate(const ode::State& x) const {
+  const std::size_t p = service_.phases();
+  const auto& t = service_.exit_rates();
+  double r = 0.0;
+  for (std::size_t k = 0; k < p; ++k) {
+    r += t[k] * (u(x, 1, k) - u(x, 2, k));
+  }
+  return r;
+}
+
+double PhaseTypeWS::analytic_sojourn_no_steal() const {
+  LSM_EXPECT(threshold_ == 0, "closed form only for the no-steal case");
+  const double rho = lambda_ * service_.mean();
+  return service_.mean() +
+         lambda_ * service_.moment2() / (2.0 * (1.0 - rho));
+}
+
+PhaseTypeSharing::PhaseTypeSharing(double lambda, PhaseType service,
+                                   std::size_t share_threshold,
+                                   std::size_t truncation)
+    : PhaseTypeModelBase(lambda, std::move(service), share_threshold,
+                         truncation) {
+  LSM_EXPECT(share_threshold >= 1, "sharing threshold must be at least 1");
+}
+
+std::string PhaseTypeSharing::name() const {
+  return "ph-sharing(S=" + std::to_string(threshold_) +
+         ",svc=" + service_.label() + ")";
+}
+
+void PhaseTypeSharing::deriv(double /*t*/, const ode::State& x,
+                             ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t W = L + 1;
+  const std::size_t p = service_.phases();
+  const std::size_t S = threshold_;
+  LSM_ASSERT(x.size() == p * W && dx.size() == p * W);
+  const auto& alpha = service_.alpha();
+
+  const double idle = 1.0 - busy(x);
+  double share_tail = 0.0;  // sum_k u_{S,k}: processors that forward
+  for (std::size_t k = 0; k < p; ++k) share_tail += u(x, S, k);
+  const double forwarded = lambda_ * share_tail;
+
+  for (std::size_t i = 1; i <= L; ++i) {
+    const double direct = (i - 1 < S) ? lambda_ : 0.0;
+    const double arrivals = direct + forwarded;
+    for (std::size_t j = 0; j < p; ++j) {
+      double d = service_flux(x, i, j);
+      d += i == 1 ? arrivals * alpha[j] * idle
+                  : arrivals * (x[j * W + i - 1] - x[j * W + i]);
+      dx[j * W + i] = d;
+    }
+  }
+  head_derivs(dx);
+}
+
+double PhaseTypeSharing::message_rate(const ode::State& x) const {
+  double share_tail = 0.0;
+  for (std::size_t k = 0; k < service_.phases(); ++k) {
+    share_tail += u(x, threshold_, k);
+  }
+  return lambda_ * share_tail;
+}
+
+PhaseTypeTransferWS::PhaseTypeTransferWS(double lambda, double transfer_rate,
+                                         PhaseType service,
+                                         std::size_t threshold,
+                                         std::size_t truncation)
+    // Transfer latency throttles steals, so tails decay noticeably slower
+    // than in the instant-steal models (cf. TransferTimeWS).
+    : MeanFieldModel(
+          lambda,
+          truncation != 0
+              ? truncation
+              : std::min<std::size_t>(
+                    5 * phase_type_truncation(lambda, service.scv()) / 2 +
+                        threshold,
+                    4096)),
+      service_(std::move(service)),
+      rate_(transfer_rate),
+      threshold_(threshold) {
+  trunc_explicit_ = truncation != 0;
+  LSM_EXPECT(transfer_rate > 0.0, "transfer rate must be positive");
+  LSM_EXPECT(threshold >= 2, "steal threshold must be at least 2");
+  LSM_EXPECT(lambda * service_.mean() < 1.0,
+             "model is unstable for lambda * E[service] >= 1");
+  LSM_EXPECT(trunc_ > threshold + 2, "truncation too small for threshold");
+}
+
+std::string PhaseTypeTransferWS::name() const {
+  return "ph-transfer-ws(r=" + std::to_string(rate_) +
+         ",T=" + std::to_string(threshold_) + ",svc=" + service_.label() +
+         ")";
+}
+
+ode::State PhaseTypeTransferWS::empty_state() const {
+  ode::State s(dimension(), 0.0);
+  for (std::size_t j = 0; j < service_.phases(); ++j) {
+    s[seg(0, j)] = service_.alpha()[j];
+  }
+  return s;
+}
+
+void PhaseTypeTransferWS::deriv(double /*t*/, const ode::State& x,
+                                ode::State& dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t W = L + 1;
+  const std::size_t p = service_.phases();
+  const std::size_t T = threshold_;
+  LSM_ASSERT(x.size() == 2 * p * W && dx.size() == 2 * p * W);
+  const auto& alpha = service_.alpha();
+  const auto& t = service_.exit_rates();
+  const auto uu = [&](std::size_t i, std::size_t j) {
+    return i <= L ? x[seg(0, j) + i] : 0.0;
+  };
+  const auto vv = [&](std::size_t i, std::size_t j) {
+    return i <= L ? x[seg(1, j) + i] : 0.0;
+  };
+
+  double sum_h = 0.0;  // total not-awaiting fraction (u heads)
+  double sum_g = 0.0;  // total awaiting fraction (v heads) = w_0
+  double busy_u = 0.0;
+  double busy_v = 0.0;
+  double steal_rate = 0.0;  // u-class processors completing the last task
+  double success = 0.0;
+  for (std::size_t k = 0; k < p; ++k) {
+    sum_h += x[seg(0, k)];
+    sum_g += x[seg(1, k)];
+    busy_u += uu(1, k);
+    busy_v += vv(1, k);
+    steal_rate += t[k] * (uu(1, k) - uu(2, k));
+    success += uu(T, k) + vv(T, k);
+  }
+  const double idle_u = sum_h - busy_u;
+  const double idle_w = sum_g - busy_v;
+  const double start_wait = steal_rate * success;
+
+  for (std::size_t i = 1; i <= L; ++i) {
+    double exits_u = 0.0;
+    double exits_v = 0.0;
+    for (std::size_t k = 0; k < p; ++k) {
+      exits_u += t[k] * uu(i + 1, k);
+      exits_v += t[k] * vv(i + 1, k);
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      double mix_u = 0.0;
+      double mix_v = 0.0;
+      for (std::size_t k = 0; k < p; ++k) {
+        mix_u += service_.subgen(k, j) * uu(i, k);
+        mix_v += service_.subgen(k, j) * vv(i, k);
+      }
+      // Not-awaiting class: arrivals, service, transfer completions in
+      // (a transfer landing on an awaiting processor with i-1 tasks makes
+      // a not-awaiting processor with i tasks; for i = 1 that includes
+      // the awaiting-idle mass, whose task starts fresh at alpha -- which
+      // is exactly the v head g_j), steal victims out.
+      double du = mix_u + alpha[j] * exits_u;
+      du += i == 1 ? lambda_ * alpha[j] * idle_u
+                   : lambda_ * (uu(i - 1, j) - uu(i, j));
+      du += i == 1 ? rate_ * x[seg(1, j)] : rate_ * vv(i - 1, j);
+      if (i >= T) du -= steal_rate * (uu(i, j) - uu(i + 1, j));
+      dx[seg(0, j) + i] = du;
+      // Awaiting class: serves and receives arrivals while waiting,
+      // leaves at the transfer rate, and can be victimized too.
+      double dv = mix_v + alpha[j] * exits_v - rate_ * vv(i, j);
+      dv += i == 1 ? lambda_ * alpha[j] * idle_w
+                   : lambda_ * (vv(i - 1, j) - vv(i, j));
+      if (i >= T) dv -= steal_rate * (vv(i, j) - vv(i + 1, j));
+      dx[seg(1, j) + i] = dv;
+    }
+  }
+
+  // Heads: h_j = u_{1,j} + alpha_j idle_u and g_j = v_{1,j} + alpha_j
+  // idle_w, with d(idle_u) driven by class transfer (r w_0 in, steal
+  // starts out) minus the busy-tail flux.
+  double db_u = 0.0;
+  double db_v = 0.0;
+  for (std::size_t k = 0; k < p; ++k) {
+    db_u += dx[seg(0, k) + 1];
+    db_v += dx[seg(1, k) + 1];
+  }
+  const double d_idle_u = rate_ * sum_g - start_wait - db_u;
+  const double d_idle_w = start_wait - rate_ * sum_g - db_v;
+  for (std::size_t j = 0; j < p; ++j) {
+    dx[seg(0, j)] = dx[seg(0, j) + 1] + alpha[j] * d_idle_u;
+    dx[seg(1, j)] = dx[seg(1, j) + 1] + alpha[j] * d_idle_w;
+  }
+}
+
+void PhaseTypeTransferWS::project(ode::State& s) const {
+  const std::size_t W = trunc_ + 1;
+  for (std::size_t k = 0; k < 2 * service_.phases(); ++k) {
+    project_segment(s, k * W, (k + 1) * W, -1.0);
+  }
+}
+
+void PhaseTypeTransferWS::root_residual(const ode::State& x,
+                                        ode::State& f) const {
+  deriv(0.0, x, f);
+  const std::size_t p = service_.phases();
+  const auto& alpha = service_.alpha();
+  const auto& t = service_.exit_rates();
+  double sum_g = 0.0;
+  double busy_u = 0.0;
+  double busy_v = 0.0;
+  double steal_rate = 0.0;
+  double success = 0.0;
+  const auto uu = [&](std::size_t i, std::size_t j) {
+    return i <= trunc_ ? x[seg(0, j) + i] : 0.0;
+  };
+  const auto vv = [&](std::size_t i, std::size_t j) {
+    return i <= trunc_ ? x[seg(1, j) + i] : 0.0;
+  };
+  for (std::size_t k = 0; k < p; ++k) {
+    sum_g += x[seg(1, k)];
+    busy_u += uu(1, k);
+    busy_v += vv(1, k);
+    steal_rate += t[k] * (uu(1, k) - uu(2, k));
+    success += uu(threshold_, k) + vv(threshold_, k);
+  }
+  // The 2p head rows are definitionally dependent on the tails; replace
+  // them with (a) the u-head slaving constraints, with idle_u eliminated
+  // through total conservation, (b) the awaiting-mass balance
+  // r w_0 = start_wait pinning sum_j g_j, and (c) p-1 v-head
+  // proportionality constraints.
+  for (std::size_t j = 0; j < p; ++j) {
+    f[seg(0, j)] = x[seg(0, j)] - uu(1, j) -
+                   alpha[j] * (1.0 - sum_g - busy_u);
+  }
+  f[seg(1, 0)] = steal_rate * success - rate_ * sum_g;
+  for (std::size_t j = 1; j < p; ++j) {
+    f[seg(1, j)] =
+        (x[seg(1, j)] - vv(1, j)) - alpha[j] * (sum_g - busy_v);
+  }
+}
+
+double PhaseTypeTransferWS::mean_tasks(const ode::State& x) const {
+  const std::size_t p = service_.phases();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < p; ++j) {
+    acc += x[seg(1, j)];  // one in-transit task per awaiting processor
+    for (std::size_t i = trunc_; i >= 1; --i) {
+      acc += x[seg(0, j) + i] + x[seg(1, j) + i];
+    }
+  }
+  return acc;
+}
+
+double PhaseTypeTransferWS::busy_fraction(const ode::State& x) const {
+  const std::size_t p = service_.phases();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < p; ++j) {
+    acc += x[seg(0, j) + 1] + x[seg(1, j) + 1];
+  }
+  return acc;
+}
+
+}  // namespace lsm::core

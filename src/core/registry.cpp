@@ -1,5 +1,8 @@
 #include "core/registry.hpp"
 
+#include <atomic>
+#include <cstdio>
+
 #include "core/composed_ws.hpp"
 #include "core/erlang_ws.hpp"
 #include "core/general_arrival_ws.hpp"
@@ -7,6 +10,7 @@
 #include "core/multi_choice_ws.hpp"
 #include "core/multi_steal_ws.hpp"
 #include "core/no_stealing.hpp"
+#include "core/phase_type_ws.hpp"
 #include "core/preemptive_ws.hpp"
 #include "core/rebalance_ws.hpp"
 #include "core/repeated_steal_ws.hpp"
@@ -20,21 +24,72 @@ namespace lsm::core {
 
 namespace {
 
+double number_of(const std::string& key, const ParamValue& v) {
+  if (v.is_text) {
+    throw util::Error("parameter " + key + " expects a number, got '" +
+                      v.text + "'");
+  }
+  return v.number;
+}
+
 double get(const ModelParams& p, const std::string& key, double fallback) {
   const auto it = p.find(key);
-  return it == p.end() ? fallback : it->second;
+  return it == p.end() ? fallback : number_of(key, it->second);
 }
 
 std::size_t get_n(const ModelParams& p, const std::string& key,
                   std::size_t fallback) {
   const auto it = p.find(key);
   if (it == p.end()) return fallback;
-  LSM_EXPECT(it->second >= 0.0, "parameter " + key + " must be >= 0");
-  return static_cast<std::size_t>(it->second);
+  const double v = number_of(key, it->second);
+  LSM_EXPECT(v >= 0.0, "parameter " + key + " must be >= 0");
+  return static_cast<std::size_t>(v);
 }
 
 const ParamSpec kTrunc{"L", 0.0, "truncation override (0 = auto-size)"};
 const ParamSpec kThresh{"T", 2.0, "steal threshold T (victim minimum load)"};
+const ParamSpec kService{"service", 0.0,
+                         "service distribution: exp | erlang:k | "
+                         "hyperexp:scv | coxian:k,scv | heavytail:scv[,k]",
+                         ParamSpec::Kind::Distribution, "exp"};
+
+/// The service spec named in `params`, already parsed; empty-engaged
+/// (exponential) when absent or explicitly "exp". The bool is true when
+/// a genuinely non-exponential distribution was requested, i.e. when the
+/// phase-type model classes must be dispatched to.
+struct ServiceChoice {
+  PhaseType dist = PhaseType::exponential();
+  bool phase_typed = false;
+  bool given = false;
+};
+
+ServiceChoice service_of(const ModelParams& params) {
+  ServiceChoice choice;
+  const auto it = params.find("service");
+  if (it == params.end()) return choice;
+  if (!it->second.is_text) {
+    throw util::Error(
+        "parameter service expects a distribution spec string "
+        "(exp | erlang:k | hyperexp:scv | coxian:k,scv | heavytail:scv[,k])");
+  }
+  choice.given = true;
+  choice.dist = parse_service(it->second.text);
+  // A spec that lands on plain exponential (e.g. "exp", "erlang:1")
+  // keeps the classic scalar-state classes: identical results, and the
+  // exponential benchmarks stay on their historical code paths.
+  choice.phase_typed = !choice.dist.is_exponential();
+  return choice;
+}
+
+void warn_stages_deprecated() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fputs(
+        "warning: model parameter 'stages' is deprecated; use 'c' or the "
+        "unified 'service=erlang:k' spec instead\n",
+        stderr);
+  }
+}
 
 }  // namespace
 
@@ -45,25 +100,29 @@ bool ModelSpec::accepts(const std::string& key) const {
   return false;
 }
 
-double ModelSpec::fallback(const std::string& key) const {
+const ParamSpec& ModelSpec::param(const std::string& key) const {
   for (const auto& p : params) {
-    if (p.key == key) return p.fallback;
+    if (p.key == key) return p;
   }
   throw util::Error("model " + name + " has no parameter '" + key + "'");
+}
+
+double ModelSpec::fallback(const std::string& key) const {
+  return param(key).fallback;
 }
 
 const std::vector<ModelSpec>& model_specs() {
   static const std::vector<ModelSpec> specs = {
       {"no-stealing",
-       "independent M/M/1 queues, the paper's no-migration baseline",
-       {kTrunc}},
+       "independent M/G/1 queues, the paper's no-migration baseline",
+       {kService, kTrunc}},
       {"simple",
        "steal one task on empty from a random victim with >= 2 tasks "
        "(Section 2.2)",
-       {kTrunc}},
+       {kService, kTrunc}},
       {"threshold",
        "steal on empty only from victims with >= T tasks (Section 2.3)",
-       {kThresh, kTrunc}},
+       {kThresh, kService, kTrunc}},
       {"preemptive",
        "start stealing at load <= B from victims >= load + T (Section 2.4)",
        {{"B", 1.0, "begin stealing at load <= B"}, kThresh, kTrunc}},
@@ -89,12 +148,17 @@ const std::vector<ModelSpec>& model_specs() {
         kTrunc}},
       {"erlang",
        "method-of-stages approximation of constant service times with c "
-       "stages (Section 3.1)",
-       {{"c", 10.0, "Erlang service stages"}, kTrunc}},
+       "stages (Section 3.1); a non-Erlang service spec dispatches to the "
+       "phase-type generalization",
+       {{"c", 10.0, "Erlang service stages"},
+        {"stages", 10.0, "deprecated alias for c", ParamSpec::Kind::Number,
+         "", true},
+        kService,
+        kTrunc}},
       {"transfer",
        "stolen tasks spend Exp(1/r) in transit (Section 3.2)",
        {{"r", 0.25, "transfer completion rate (mean transfer 1/r)"}, kThresh,
-        kTrunc}},
+        kService, kTrunc}},
       {"staged-transfer",
        "Erlang-c transfer latency instead of exponential (Sections 3.1+3.2)",
        {{"r", 0.25, "transfer completion rate (mean transfer 1/r)"},
@@ -120,7 +184,7 @@ const std::vector<ModelSpec>& model_specs() {
       {"sharing",
        "sender-initiated work sharing: forward arrivals hitting load >= S "
        "(the introduction's foil)",
-       {{"S", 2.0, "forwarding threshold"}, kTrunc}},
+       {{"S", 2.0, "forwarding threshold"}, kService, kTrunc}},
   };
   return specs;
 }
@@ -151,13 +215,23 @@ std::unique_ptr<MeanFieldModel> make_model(const std::string& name,
 
   const std::size_t L = get_n(params, "L", 0);
   const std::size_t T = get_n(params, "T", 2);
+  const ServiceChoice svc = service_of(params);
   if (name == "no-stealing") {
+    if (svc.phase_typed) {
+      return std::make_unique<PhaseTypeWS>(lambda, svc.dist, 0, L);
+    }
     return std::make_unique<NoStealing>(lambda, L);
   }
   if (name == "simple") {
+    if (svc.phase_typed) {
+      return std::make_unique<PhaseTypeWS>(lambda, svc.dist, 2, L);
+    }
     return std::make_unique<SimpleWS>(lambda, L);
   }
   if (name == "threshold") {
+    if (svc.phase_typed) {
+      return std::make_unique<PhaseTypeWS>(lambda, svc.dist, T, L);
+    }
     return std::make_unique<ThresholdWS>(lambda, T, L);
   }
   if (name == "preemptive") {
@@ -186,10 +260,31 @@ std::unique_ptr<MeanFieldModel> make_model(const std::string& name,
     return std::make_unique<ComposedWS>(lambda, policy, L);
   }
   if (name == "erlang") {
-    return std::make_unique<ErlangServiceWS>(lambda, get_n(params, "c", 10),
-                                             L);
+    // The unified service spec wins when given; an Erlang-shaped spec
+    // keeps the classic stage-state class (identical dynamics, stiff
+    // banded solver), anything else generalizes to phase-type state. The
+    // historical integer keys remain: `c`, and the deprecated `stages`.
+    if (svc.given) {
+      if (svc.dist.is_erlang()) {
+        return std::make_unique<ErlangServiceWS>(lambda, svc.dist.phases(),
+                                                 L);
+      }
+      return std::make_unique<PhaseTypeWS>(lambda, svc.dist, 2, L);
+    }
+    std::size_t c = get_n(params, "c", 10);
+    if (params.count("stages") != 0) {
+      warn_stages_deprecated();
+      LSM_EXPECT(params.count("c") == 0,
+                 "give either 'c' or the deprecated 'stages', not both");
+      c = get_n(params, "stages", 10);
+    }
+    return std::make_unique<ErlangServiceWS>(lambda, c, L);
   }
   if (name == "transfer") {
+    if (svc.phase_typed) {
+      return std::make_unique<PhaseTypeTransferWS>(
+          lambda, get(params, "r", 0.25), svc.dist, T, L);
+    }
     return std::make_unique<TransferTimeWS>(lambda, get(params, "r", 0.25), T,
                                             L);
   }
@@ -206,7 +301,11 @@ std::unique_ptr<MeanFieldModel> make_model(const std::string& name,
         get(params, "mu_s", 0.8), T, L);
   }
   if (name == "sharing") {
-    return std::make_unique<WorkSharingWS>(lambda, get_n(params, "S", 2), L);
+    const std::size_t S = get_n(params, "S", 2);
+    if (svc.phase_typed) {
+      return std::make_unique<PhaseTypeSharing>(lambda, svc.dist, S, L);
+    }
+    return std::make_unique<WorkSharingWS>(lambda, S, L);
   }
   if (name == "spawning") {
     return std::make_unique<GeneralArrivalWS>(GeneralArrivalWS::spawning(

@@ -2,29 +2,74 @@
 // variant from strings ("threshold", T=4) without compiling against each
 // class, plus the introspection surface (model_specs) that CLIs and the
 // experiment runner derive their parameter handling from. Parameter keys
-// follow the paper's symbols.
+// follow the paper's symbols; the `service` key carries a distribution
+// spec string (see core::parse_service) instead of a number.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/model.hpp"
 
 namespace lsm::core {
 
+/// One model parameter value: a number for the classic knobs (T, S, r,
+/// ...) or a text spec for distribution-kind parameters (`service`).
+/// Implicitly constructible from arithmetic types and strings so
+/// `{{"T", 4}, {"service", "hyperexp:4"}}` initializer lists read
+/// naturally.
+struct ParamValue {
+  double number = 0.0;
+  std::string text;
+  bool is_text = false;
+
+  ParamValue() = default;
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  ParamValue(T v) : number(static_cast<double>(v)) {}  // NOLINT
+  ParamValue(std::string s) : text(std::move(s)), is_text(true) {}  // NOLINT
+  ParamValue(const char* s) : text(s), is_text(true) {}             // NOLINT
+
+  friend bool operator==(const ParamValue& a, const ParamValue& b) {
+    return a.is_text == b.is_text &&
+           (a.is_text ? a.text == b.text : a.number == b.number);
+  }
+};
+
 /// Extra parameters by short name. Accepted keys, defaults and docs are
 /// per model: see model_specs(). make_model rejects keys the named model
 /// does not accept.
-using ModelParams = std::map<std::string, double>;
+using ModelParams = std::map<std::string, ParamValue>;
 
 /// One accepted parameter of a model: key, default used when the key is
-/// absent, and a one-line description for --list style help.
+/// absent, and a one-line description for --list style help. Number
+/// parameters default to `fallback`; Distribution parameters carry their
+/// default spec string in `fallback_text`.
 struct ParamSpec {
+  enum class Kind { Number, Distribution };
+
+  ParamSpec(std::string key_in, double fallback_in, std::string doc_in,
+            Kind kind_in = Kind::Number, std::string fallback_text_in = "",
+            bool deprecated_in = false)
+      : key(std::move(key_in)),
+        fallback(fallback_in),
+        doc(std::move(doc_in)),
+        kind(kind_in),
+        fallback_text(std::move(fallback_text_in)),
+        deprecated(deprecated_in) {}
+
   std::string key;
   double fallback = 0.0;
   std::string doc;
+  Kind kind = Kind::Number;
+  std::string fallback_text;
+  /// Accepted (with a one-time warning) but excluded from generated help
+  /// defaults; a deprecated key usually aliases a preferred one and the
+  /// two cannot be given together.
+  bool deprecated = false;
 };
 
 /// Introspection record for one registered model.
@@ -34,7 +79,10 @@ struct ModelSpec {
   std::vector<ParamSpec> params;
 
   [[nodiscard]] bool accepts(const std::string& key) const;
-  /// The default for `key`; throws util::Error when the key is unknown.
+  /// The spec of parameter `key`; throws util::Error when unknown.
+  [[nodiscard]] const ParamSpec& param(const std::string& key) const;
+  /// The numeric default for `key`; throws util::Error when the key is
+  /// unknown.
   [[nodiscard]] double fallback(const std::string& key) const;
 };
 
@@ -49,6 +97,10 @@ struct ModelSpec {
 ///   no-stealing, simple, threshold, preemptive, repeated, multi-choice,
 ///   multi-steal, composed, erlang, transfer, staged-transfer, rebalance,
 ///   heterogeneous, spawning, sharing
+/// Models declaring a `service` parameter accept a distribution spec
+/// (`exp | erlang:k | hyperexp:scv | coxian:k,scv | heavytail:scv[,k]`);
+/// exponential service dispatches to the classic (scalar-state) classes,
+/// anything else to the phase-type generalizations.
 /// Throws util::Error for an unknown name or a parameter key the model
 /// does not accept, util::LogicError for invalid parameter combinations
 /// (propagated from the model's constructor).

@@ -13,7 +13,11 @@ namespace {
 /// changes; stale cache entries then simply stop matching.
 /// v2: solver identity (cold/warm + warm chain prefix) and the stored
 /// converged state joined the key/result format.
-constexpr int kFormatVersion = 2;
+/// v3: model params carry text values (service distribution specs) and
+/// the sim service serializes its full phase-type representation (every
+/// fitted alpha/S entry), so two fits with equal summary stats but
+/// different parameters can never share a cache entry.
+constexpr int kFormatVersion = 3;
 
 util::Json policy_json(const sim::StealPolicy& p) {
   auto j = util::Json::object();
@@ -39,7 +43,11 @@ util::Json config_json(const sim::SimConfig& c) {
   auto service = util::Json::object();
   service["kind"] = static_cast<int>(c.service.kind());
   service["mean"] = c.service.mean();
-  service["stages"] = c.service.stages();
+  if (c.service.kind() != sim::ServiceDistribution::Kind::Constant) {
+    // The full (alpha, S) representation, not a summary: every fitted
+    // phase-type parameter participates in the content hash.
+    service["ph"] = c.service.phase().canonical();
+  }
   j["service"] = std::move(service);
   j["policy"] = policy_json(c.policy);
   j["horizon"] = c.horizon;
@@ -82,7 +90,13 @@ util::Json Job::canonical() const {
   j["lambda"] = lambda;
   j["model"] = model;
   auto params_json = util::Json::object();
-  for (const auto& [key, value] : params) params_json[key] = value;
+  for (const auto& [key, value] : params) {
+    if (value.is_text) {
+      params_json[key] = value.text;
+    } else {
+      params_json[key] = value.number;
+    }
+  }
   j["params"] = std::move(params_json);
   j["estimate"] = estimate;
   j["simulate"] = simulate;

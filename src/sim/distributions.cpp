@@ -1,27 +1,57 @@
 #include "sim/distributions.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace lsm::sim {
 
 ServiceDistribution::ServiceDistribution(Kind kind, double mean,
-                                         std::size_t stages)
-    : kind_(kind), mean_(mean), stages_(stages) {
+                                         core::PhaseType ph)
+    : kind_(kind), mean_(mean), ph_(std::move(ph)) {
   LSM_EXPECT(mean > 0.0, "service mean must be positive");
+  if (kind_ != Kind::Phase) return;
+  const std::size_t p = ph_.phases();
+  init_ = core::AliasTable(ph_.alpha());
+  next_.reserve(p);
+  phase_mean_.reserve(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    std::vector<double> weights(p + 1, 0.0);
+    for (std::size_t k = 0; k < p; ++k) {
+      if (k != j) weights[k] = ph_.subgen(j, k);
+    }
+    weights[p] = ph_.exit_rates()[j];
+    next_.emplace_back(weights);
+    phase_mean_.push_back(1.0 / ph_.total_rate(j));
+  }
 }
 
 ServiceDistribution ServiceDistribution::exponential(double mean) {
-  return ServiceDistribution(Kind::Exponential, mean, 1);
+  return ServiceDistribution(Kind::Exponential, mean,
+                             core::PhaseType::exponential(mean));
 }
 
 ServiceDistribution ServiceDistribution::constant(double value) {
-  return ServiceDistribution(Kind::Constant, value, 1);
+  return ServiceDistribution(Kind::Constant, value,
+                             core::PhaseType::exponential(value));
 }
 
 ServiceDistribution ServiceDistribution::erlang(std::size_t stages,
                                                 double mean) {
   LSM_EXPECT(stages >= 1, "Erlang needs at least one stage");
-  return ServiceDistribution(Kind::Erlang, mean, stages);
+  return ServiceDistribution(Kind::Erlang, mean,
+                             core::PhaseType::erlang(stages, mean));
+}
+
+ServiceDistribution ServiceDistribution::phase_type(core::PhaseType ph) {
+  const double mean = ph.mean();
+  if (ph.is_exponential()) {
+    return ServiceDistribution(Kind::Exponential, mean, std::move(ph));
+  }
+  if (ph.is_erlang()) {
+    return ServiceDistribution(Kind::Erlang, mean, std::move(ph));
+  }
+  return ServiceDistribution(Kind::Phase, mean, std::move(ph));
 }
 
 double ServiceDistribution::sample(util::Xoshiro256& rng) const {
@@ -31,10 +61,21 @@ double ServiceDistribution::sample(util::Xoshiro256& rng) const {
     case Kind::Constant:
       return mean_;
     case Kind::Erlang: {
-      const double stage_mean = mean_ / static_cast<double>(stages_);
+      const std::size_t stages = ph_.phases();
+      const double stage_mean = mean_ / static_cast<double>(stages);
       double acc = 0.0;
-      for (std::size_t i = 0; i < stages_; ++i) acc += rng.exponential(stage_mean);
+      for (std::size_t i = 0; i < stages; ++i) acc += rng.exponential(stage_mean);
       return acc;
+    }
+    case Kind::Phase: {
+      const std::size_t p = ph_.phases();
+      std::size_t j = init_.sample(rng);
+      double acc = 0.0;
+      while (true) {
+        acc += rng.exponential(phase_mean_[j]);
+        j = next_[j].sample(rng);
+        if (j == p) return acc;
+      }
     }
   }
   LSM_ASSERT(false);
@@ -48,7 +89,11 @@ std::string ServiceDistribution::name() const {
     case Kind::Constant:
       return "const(" + std::to_string(mean_) + ")";
     case Kind::Erlang:
-      return "erlang(c=" + std::to_string(stages_) + ")";
+      return "erlang(c=" + std::to_string(ph_.phases()) + ")";
+    case Kind::Phase:
+      return "ph(" + (ph_.label().empty() ? std::to_string(ph_.phases()) + "ph"
+                                          : ph_.label()) +
+             ")";
   }
   return "?";
 }

@@ -1,37 +1,65 @@
-// Service-time distributions for the simulator, mirroring the paper's
-// model variants: exponential (base model), constant (Section 3.1's target)
-// and Erlang-c (the method-of-stages approximation itself, useful for
-// validating the stage models against their own assumption).
+// Service-time distributions for the simulator. The stochastic kinds are
+// a thin wrapper over core::PhaseType -- the same (alpha, S) object the
+// mean-field models integrate -- sampled exactly via precomputed
+// Walker/Vose alias tables (initial phase, then the embedded next-phase
+// chain). Constant is the one non-phase kind (Section 3.1's target for
+// the method-of-stages approximation).
+//
+// Exponential and Erlang keep their historical dedicated sampling paths
+// (one rng.exponential per stage, in order) so seeded streams -- and the
+// tracked benchmark counters that depend on them -- stay bit-identical
+// with pre-phase-type builds.
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
+#include "core/phase_type.hpp"
 #include "util/xoshiro.hpp"
 
 namespace lsm::sim {
 
 class ServiceDistribution {
  public:
-  enum class Kind { Exponential, Constant, Erlang };
+  enum class Kind { Exponential, Constant, Erlang, Phase };
 
   static ServiceDistribution exponential(double mean = 1.0);
   static ServiceDistribution constant(double value = 1.0);
   /// Sum of `stages` exponentials each of mean `mean`/stages.
   static ServiceDistribution erlang(std::size_t stages, double mean = 1.0);
+  /// General phase-type service. Exponential- and Erlang-shaped inputs
+  /// collapse to those kinds (identical distribution, historical sampling
+  /// path); everything else samples the embedded chain via alias tables.
+  static ServiceDistribution phase_type(core::PhaseType ph);
 
   [[nodiscard]] double sample(util::Xoshiro256& rng) const;
   [[nodiscard]] double mean() const noexcept { return mean_; }
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
-  [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
+  /// Erlang stage count (1 for the other kinds).
+  [[nodiscard]] std::size_t stages() const noexcept {
+    return kind_ == Kind::Erlang ? ph_.phases() : 1;
+  }
+  /// Squared coefficient of variation (0 for Constant).
+  [[nodiscard]] double scv() const noexcept {
+    return kind_ == Kind::Constant ? 0.0 : ph_.scv();
+  }
+  /// The underlying phase-type object (matched-mean exponential for
+  /// Constant, which has no phase representation).
+  [[nodiscard]] const core::PhaseType& phase() const noexcept { return ph_; }
   [[nodiscard]] std::string name() const;
 
  private:
-  ServiceDistribution(Kind kind, double mean, std::size_t stages);
+  ServiceDistribution(Kind kind, double mean, core::PhaseType ph);
 
   Kind kind_;
   double mean_;
-  std::size_t stages_;
+  core::PhaseType ph_;
+  // Alias tables for Kind::Phase: initial phase, then per phase j the
+  // (p+1)-outcome next-state draw where outcome p means absorption.
+  core::AliasTable init_;
+  std::vector<core::AliasTable> next_;
+  std::vector<double> phase_mean_;  ///< 1 / total_rate(j)
 };
 
 }  // namespace lsm::sim

@@ -304,4 +304,30 @@ TEST(NewtonWorkspace, SecondSolveReusesTheFactorization) {
   EXPECT_FALSE(ws.holds(6));
 }
 
+// Metamorphic property of the phase-type service axis: at fixed mean
+// service time and fixed lambda, mean sojourn is non-decreasing in the
+// service SCV (Pollaczek-Khinchine for the isolated queue; preserved by
+// work sharing, which only mixes the same service processes across
+// processors). The SCV knob must reproduce that ordering through the
+// full fixed-point stack.
+TEST(PhaseTypeProperties, SojournMonotoneInServiceScvForWorkSharing) {
+  const std::vector<double> lambdas =
+      full_grids() ? std::vector<double>{0.6, 0.7, 0.8, 0.9}
+                   : std::vector<double>{0.8};
+  const std::vector<std::string> services = {"erlang:2", "exp", "hyperexp:2",
+                                             "hyperexp:4"};  // scv 0.5,1,2,4
+  for (const double lambda : lambdas) {
+    double prev = 0.0;
+    for (const auto& svc : services) {
+      const auto model =
+          core::make_model("sharing", lambda, {{"S", 2}, {"service", svc}});
+      const auto fp = core::solve_fixed_point(*model);
+      const double sojourn = model->mean_sojourn(fp.state);
+      EXPECT_GT(sojourn, prev * (1.0 + 1e-9))
+          << "lambda=" << lambda << " service=" << svc;
+      prev = sojourn;
+    }
+  }
+}
+
 }  // namespace

@@ -81,7 +81,12 @@ TEST(Registry, MakeModelAcceptsEveryDeclaredParameter) {
     for (const auto& p : spec.params) {
       EXPECT_TRUE(spec.accepts(p.key)) << spec.name << " " << p.key;
       EXPECT_EQ(spec.fallback(p.key), p.fallback) << spec.name << " " << p.key;
-      if (p.key != "L") params[p.key] = p.fallback;
+      if (p.key == "L" || p.deprecated) continue;
+      if (p.kind == core::ParamSpec::Kind::Distribution) {
+        params[p.key] = p.fallback_text;
+      } else {
+        params[p.key] = p.fallback;
+      }
     }
     const auto model = core::make_model(spec.name, 0.7, params);
     ASSERT_NE(model, nullptr) << spec.name;
