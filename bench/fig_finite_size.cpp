@@ -1,46 +1,191 @@
-// Figure F12 (Table 1's trend, quantified): the finite-n bias of the
-// simulated mean sojourn over the mean-field estimate decays like 1/n.
-// Fitting E[T](n) = a + b/n across n in {8..256} recovers the limit `a`
-// -- which should equal the fixed-point estimate -- and the bias
-// coefficient `b`, which grows sharply with load.
+// Figure F12: finite-n convergence RATE to the mean-field limit.
+//
+// Kurtz-style mean-field results say E[T](n) -> E[T](inf) as n -> inf;
+// Stein-method refinements (Ying, arXiv:1605.06581) bound the
+// approximation error between O(1/sqrt(n)) and O(1/n). This bench
+// measures the gap |E[T](n) - E[T](inf)| on a log-spaced n grid up to
+// 2^20 processors, with E[T](inf) the simple-WS fixed-point value, and
+// fits the decay exponent beta of gap ~ C * n^(-beta) per lambda.
+//
+// Statistics: each point's standard error is sigma/sqrt(R) across
+// replications. The per-point simulated horizon SHRINKS as n grows (a
+// constant processor-seconds budget), so the cost per point stays flat
+// while the gap falls like n^(-beta) — beyond a crossover n the gap is
+// indistinguishable from noise. Those points are reported but excluded
+// from the fit (the |gap| > 2 se gate in fit_decay_exponent); fitting
+// them would bias beta toward zero. Large-n rows still earn their keep:
+// they demonstrate the sharded SoA engine running 10^5-10^6 processors
+// and pin that the measured mean is statistically indistinguishable from
+// the mean-field limit there.
+//
+// Env knobs:
+//   LSM_FS_FULL=1   extend the n grid to 2^20 (default tops out at 2^14)
+//   LSM_FS_SMOKE=1  tiny grid {128, 1024, 100000} at lambda = 0.9 with a
+//                   short horizon — the large-n smoke leg scripts/check.sh
+//                   runs under an armed fault injector
+//   LSM_PAPER=1     paper fidelity (more replications, bigger budget)
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/finite_size.hpp"
 #include "bench_common.hpp"
 #include "core/threshold_ws.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
 #include "util/statistics.hpp"
 
-int main() {
-  using namespace lsm;
-  const auto f = bench::fidelity();
-  bench::print_header("Fig F12: finite-size scaling of the simple WS model",
-                      f);
-  par::ThreadPool pool(util::worker_threads());
-  const std::vector<std::size_t> counts = {8, 16, 32, 64, 128, 256};
+namespace {
 
-  util::Table table({"lambda", "fit limit a", "estimate", "err(%)",
-                     "bias coeff b", "fit residual"});
-  for (double lambda : {0.50, 0.80, 0.90, 0.95}) {
-    sim::SimConfig base;
-    base.arrival_rate = lambda;
-    base.policy = sim::StealPolicy::on_empty(2);
-    base.horizon = f.horizon;
-    base.warmup = f.warmup;
-    base.seed = 42;
-    const auto fit =
-        analysis::sojourn_scaling(base, counts, f.replications, pool);
-    const double estimate = core::SimpleWS(lambda).analytic_sojourn();
+using namespace lsm;
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+struct Point {
+  std::size_t n = 0;
+  double lambda = 0.0;
+  double mean = 0.0;
+  double se = 0.0;
+  double gap = 0.0;
+  bool failed = false;
+};
+
+}  // namespace
+
+int main() {
+  const auto f = bench::fidelity();
+  const bool smoke = env_truthy("LSM_FS_SMOKE");
+  const bool full = env_truthy("LSM_FS_FULL") || util::paper_fidelity();
+  bench::print_header(
+      "Fig F12: convergence rate of E[T](n) to the mean-field limit", f);
+
+  std::vector<std::size_t> counts;
+  std::vector<double> lambdas;
+  if (smoke) {
+    counts = {128, 1024, 100000};
+    lambdas = {0.90};
+  } else {
+    const std::size_t top = full ? (std::size_t{1} << 20) : (std::size_t{1} << 14);
+    for (std::size_t n = 128; n <= top; n *= 2) counts.push_back(n);
+    lambdas = {0.50, 0.80, 0.90, 0.95};
+  }
+
+  // Constant processor-seconds budget per point, anchored so the
+  // smallest n runs at the configured fidelity; the floors keep the
+  // largest points long enough to mix and to average over service times.
+  const std::size_t n0 = counts.front();
+  const double budget =
+      (smoke ? 60.0 : f.horizon - f.warmup) * static_cast<double>(n0);
+  const double warmup_budget =
+      (smoke ? 20.0 : f.warmup) * static_cast<double>(n0);
+  const double min_measured = smoke ? 40.0 : 400.0;
+  const double min_warmup = smoke ? 15.0 : 300.0;
+
+  // One spec per n (horizon and warmup depend on n; a spec's fidelity is
+  // shared by its whole grid), each swept over every lambda. Failures are
+  // isolated per job, so one lost point cannot discard the sweep.
+  std::vector<Point> points;
+  std::uint64_t total_events = 0;
+  for (const std::size_t n : counts) {
+    exp::ExperimentSpec spec;
+    spec.name = "fig_finite_size_n" + std::to_string(n);
+    spec.fidelity = f;
+    spec.fidelity.warmup =
+        std::max(min_warmup, warmup_budget / static_cast<double>(n));
+    spec.fidelity.horizon =
+        spec.fidelity.warmup +
+        std::max(min_measured, budget / static_cast<double>(n));
+    spec.lambdas = lambdas;
+    exp::GridEntry e;
+    e.label = "ws_n" + std::to_string(n);
+    e.config.processors = n;
+    e.config.policy = sim::StealPolicy::on_empty(2);
+    e.estimate = false;
+    spec.add(std::move(e));
+
+    const auto report = exp::Runner().run(spec);
+    std::cout << report.summary() << "\n";
+    total_events += report.events_simulated;
+    for (const auto& r : report.results) {
+      Point pt;
+      pt.n = n;
+      pt.lambda = r.lambda;
+      if (r.status != exp::JobStatus::Ok || !r.has_sim) {
+        pt.failed = true;
+      } else {
+        pt.mean = r.sim_sojourn.mean;
+        pt.se = r.sim_sojourn.n > 1
+                    ? r.sim_sojourn.stddev /
+                          std::sqrt(static_cast<double>(r.sim_sojourn.n))
+                    : 0.0;
+        pt.gap = pt.mean - core::SimpleWS(r.lambda).analytic_sojourn();
+      }
+      points.push_back(pt);
+    }
+  }
+
+  // Per-point table: the measured gaps and whether each clears the
+  // resolution gate.
+  util::Table table(
+      {"lambda", "n", "E[T](n)", "E[T](inf)", "gap", "se", "resolved"});
+  for (const auto& pt : points) {
+    if (pt.failed) {
+      table.add_row({util::Table::fmt(pt.lambda, 2), std::to_string(pt.n),
+                     "failed", "-", "-", "-", "-"});
+      continue;
+    }
+    const double limit = core::SimpleWS(pt.lambda).analytic_sojourn();
     table.add_row(
-        {util::Table::fmt(lambda, 2), util::Table::fmt(fit.limit),
-         util::Table::fmt(estimate),
-         util::Table::fmt(util::relative_error_pct(fit.limit, estimate), 2),
-         util::Table::fmt(fit.coefficient, 2),
-         util::Table::fmt(fit.residual, 4)});
+        {util::Table::fmt(pt.lambda, 2), std::to_string(pt.n),
+         util::Table::fmt(pt.mean, 4), util::Table::fmt(limit, 4),
+         util::Table::fmt(pt.gap, 5), util::Table::fmt(pt.se, 5),
+         std::abs(pt.gap) > 2.0 * pt.se ? "yes" : "no (noise floor)"});
   }
   table.print(std::cout);
-  std::cout << "\nreading: extrapolating small simulations along 1/n lands "
-               "on the mean-field estimate, and the 1/n penalty b explodes "
-               "as lambda -> 1 (exactly why Table 1's relative error grows "
-               "with load)\n";
+
+  // Per-lambda decay fit vs Ying's O(1/sqrt(n))..O(1/n) window.
+  std::cout << "\n";
+  util::Table fits(
+      {"lambda", "beta", "95% CI", "points", "C", "in [0.5, 1]?"});
+  for (const double lambda : lambdas) {
+    std::vector<std::size_t> ns;
+    std::vector<double> gaps, ses;
+    std::size_t resolved = 0;
+    for (const auto& pt : points) {
+      if (pt.failed || pt.lambda != lambda) continue;
+      ns.push_back(pt.n);
+      gaps.push_back(pt.gap);
+      ses.push_back(pt.se);
+      if (std::abs(pt.gap) > 2.0 * pt.se) ++resolved;
+    }
+    if (resolved < 2) {
+      fits.add_row({util::Table::fmt(lambda, 2), "-", "-",
+                    "0/" + std::to_string(ns.size()), "-",
+                    "too few resolved points"});
+      continue;
+    }
+    const auto fit = analysis::fit_decay_exponent(ns, gaps, ses);
+    const double ci = 1.96 * fit.exponent_se;
+    const bool in_window = fit.exponent + ci >= 0.5 && fit.exponent - ci <= 1.0;
+    fits.add_row(
+        {util::Table::fmt(lambda, 2), util::Table::fmt(fit.exponent, 3),
+         "+/- " + util::Table::fmt(ci, 3),
+         std::to_string(fit.points_used) + "/" + std::to_string(ns.size()),
+         util::Table::fmt(std::exp(fit.log_amplitude), 3),
+         in_window ? "yes" : "no"});
+  }
+  fits.print(std::cout);
+
+  std::cout << "\nevents simulated: " << total_events
+            << "\nreading: the finite-n gap decays like C * n^(-beta) with "
+               "beta inside Ying's O(1/sqrt(n))-O(1/n) window; past the "
+               "crossover n the gap sinks below simulation noise, i.e. the "
+               "engine at 10^5+ processors is statistically "
+               "indistinguishable from the mean-field limit\n";
   return 0;
 }

@@ -14,6 +14,8 @@
 // Defaults: out = BENCH_sim.json, no baseline. The sampled simulation
 // values are pinned by tests/sim_golden_trace_test.cpp; this harness only
 // tracks how fast the identical event sequence executes.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -40,6 +42,10 @@ double seconds_since(Clock::time_point t0) {
 struct PerfCase {
   std::string name;
   sim::SimConfig cfg;
+  /// Large-n cases time fewer, longer runs: one seed, best-of-2 (the
+  /// n <= 1024 tracked cases keep the original 3-seed best-of-5 recipe,
+  /// so their numbers stay comparable across baselines).
+  bool large = false;
 };
 
 struct CaseResult {
@@ -48,7 +54,16 @@ struct CaseResult {
   double seconds = 0.0;
   double events_per_sec = 0.0;
   double baseline_events_per_sec = 0.0;  // 0 = no baseline
+  double bytes_per_proc = 0.0;  ///< engine_bytes / processors (exact)
+  double peak_rss_mb = 0.0;     ///< process high-water RSS after the case
 };
+
+/// Process peak RSS in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return static_cast<double>(u.ru_maxrss) / 1024.0;
+}
 
 /// {n = 64, n = 1024} x {OnEmpty, Share, Preemptive} at the table1 load.
 std::vector<PerfCase> perf_cases() {
@@ -71,6 +86,36 @@ std::vector<PerfCase> perf_cases() {
   return cases;
 }
 
+/// Scale-out cases: the sharded SoA engine at n = 2^16 and n = 10^6
+/// (table1 load shape, short horizons so each run stays in seconds).
+/// These track events/sec AND the per-processor memory budget.
+std::vector<PerfCase> large_cases() {
+  std::vector<PerfCase> cases;
+  {
+    PerfCase c;
+    c.name = "on_empty_n65536";
+    c.cfg.processors = 65536;
+    c.cfg.arrival_rate = 0.9;
+    c.cfg.policy = sim::StealPolicy::on_empty(2);
+    c.cfg.horizon = 120.0;
+    c.cfg.warmup = 12.0;
+    c.large = true;
+    cases.push_back(std::move(c));
+  }
+  {
+    PerfCase c;
+    c.name = "on_empty_n1000000";
+    c.cfg.processors = 1000000;
+    c.cfg.arrival_rate = 0.9;
+    c.cfg.policy = sim::StealPolicy::on_empty(2);
+    c.cfg.horizon = 8.0;
+    c.cfg.warmup = 1.0;
+    c.large = true;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
 /// Dispatched-event count of one run (thinned arrivals excluded; the same
 /// formula exp::Runner reports, so rates line up with run manifests).
 std::uint64_t event_count(const sim::SimResult& r) {
@@ -83,25 +128,31 @@ std::uint64_t event_count(const sim::SimResult& r) {
 constexpr int kRepetitions = 5;
 
 CaseResult time_case(const PerfCase& pc) {
-  constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+  const std::vector<std::uint64_t> seeds =
+      pc.large ? std::vector<std::uint64_t>{1}
+               : std::vector<std::uint64_t>{1, 2, 3};
+  const int reps = pc.large ? 2 : kRepetitions;
   CaseResult out;
   out.name = pc.name;
   // Untimed warmup run: faults in the pages and stabilizes the clock.
   {
     sim::SimConfig cfg = pc.cfg;
-    cfg.seed = kSeeds[0];
+    cfg.seed = seeds[0];
     cfg.horizon = pc.cfg.horizon / 10.0;
     cfg.warmup = cfg.horizon / 10.0;
     (void)sim::simulate(cfg);
   }
   double best = 0.0;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < reps; ++rep) {
     std::uint64_t events = 0;
     const auto t0 = Clock::now();
-    for (const std::uint64_t seed : kSeeds) {
+    for (const std::uint64_t seed : seeds) {
       sim::SimConfig cfg = pc.cfg;
       cfg.seed = seed;
-      events += event_count(sim::simulate(cfg));
+      const auto res = sim::simulate(cfg);
+      events += event_count(res);
+      out.bytes_per_proc = static_cast<double>(res.engine_bytes) /
+                           static_cast<double>(cfg.processors);
     }
     const double secs = seconds_since(t0);
     if (rep == 0 || secs < best) best = secs;
@@ -110,6 +161,7 @@ CaseResult time_case(const PerfCase& pc) {
   out.seconds = best;
   out.events_per_sec =
       out.seconds > 0.0 ? static_cast<double>(out.events) / out.seconds : 0.0;
+  out.peak_rss_mb = peak_rss_mib();
   return out;
 }
 
@@ -184,21 +236,31 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "=== perf_sim: simulator hot-path baseline ===\n\n";
-  util::Table table({"case", "events", "events/s", "baseline", "speedup"});
+  util::Table table({"case", "events", "events/s", "B/proc", "rss MB",
+                     "baseline", "speedup"});
   auto cases_json = util::Json::array();
+  // The tracked aggregate covers only the n <= 1024 legacy cases, so it
+  // stays comparable with baselines written before the scale-out cases
+  // existed; the large-n cases are tracked per-case.
   std::uint64_t total_events = 0;
   double total_seconds = 0.0;
-  for (const auto& pc : perf_cases()) {
+  auto cases = perf_cases();
+  for (auto& lc : large_cases()) cases.push_back(std::move(lc));
+  for (const auto& pc : cases) {
     const CaseResult r = [&] {
       CaseResult cr = time_case(pc);
       cr.baseline_events_per_sec = baseline_rate(baseline, pc.name);
       return cr;
     }();
-    total_events += r.events;
-    total_seconds += r.seconds;
+    if (!pc.large) {
+      total_events += r.events;
+      total_seconds += r.seconds;
+    }
     const bool has_base = r.baseline_events_per_sec > 0.0;
     table.add_row(
         {r.name, std::to_string(r.events), util::Table::fmt(r.events_per_sec, 0),
+         util::Table::fmt(r.bytes_per_proc, 1),
+         util::Table::fmt(r.peak_rss_mb, 1),
          has_base ? util::Table::fmt(r.baseline_events_per_sec, 0) : "-",
          has_base
              ? util::Table::fmt(r.events_per_sec / r.baseline_events_per_sec, 2)
@@ -210,6 +272,8 @@ int main(int argc, char** argv) {
     j["events"] = r.events;
     j["seconds"] = r.seconds;
     j["events_per_sec"] = r.events_per_sec;
+    j["bytes_per_proc"] = r.bytes_per_proc;
+    j["peak_rss_mb"] = r.peak_rss_mb;
     if (has_base) {
       j["baseline_events_per_sec"] = r.baseline_events_per_sec;
       j["speedup"] = r.events_per_sec / r.baseline_events_per_sec;

@@ -11,6 +11,7 @@
 #   SKIP_PROPERTIES=1 scripts/check.sh  # skip the full-grid property pass
 #   SKIP_FAULTS=1 scripts/check.sh # skip the fault-injection leg
 #   SKIP_PHASE_TYPE=1 scripts/check.sh  # skip the phase-type service leg
+#   SKIP_LARGE_N=1 scripts/check.sh  # skip the 10^5-processor smoke leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,14 +73,37 @@ if [ "${SKIP_PHASE_TYPE:-0}" != "1" ]; then
   rm -rf "$pt_tmp"
 fi
 
+if [ "${SKIP_LARGE_N:-0}" != "1" ]; then
+  # Scale-out smoke: the convergence-rate bench's tiny grid tops out at
+  # n = 10^5, exercising the sharded SoA engine well past the old
+  # per-processor-heap scale — under an armed fault injector in report
+  # mode, so failure isolation is checked on the same path. Both tables
+  # (per-point gaps and the decay-fit summary) must render and the
+  # process must exit 0.
+  echo "== large-n: 10^5-processor convergence smoke under faults"
+  ln_tmp="$(mktemp -d)"
+  LSM_FS_SMOKE=1 \
+    LSM_FAULT_SEED=20260809 LSM_FAULT_PROFILE="io=0.1,job=0.5,slow=0.2" \
+    LSM_ON_FAILURE=report \
+    LSM_CACHE_DIR="$ln_tmp/cache" LSM_ARTIFACTS="$ln_tmp/artifacts" \
+    ./build/bench/fig_finite_size | tee "$ln_tmp/fs.out"
+  grep -q "100000" "$ln_tmp/fs.out"
+  grep -q "beta" "$ln_tmp/fs.out"
+  rm -rf "$ln_tmp"
+fi
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "== tsan: work-stealing pool + runner determinism under -fsanitize=thread"
   cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_parallel test_exp_runner test_fault_injection
-  cmake --build build-tsan -j "$jobs" --target test_phase_type
+  cmake --build build-tsan -j "$jobs" --target test_phase_type test_sim_shards
   ./build-tsan/tests/test_parallel
+  # Sharded-engine replications across the pool: shard-count independence
+  # must hold with the SoA engines running on pool threads.
+  ./build-tsan/tests/test_sim_shards \
+    --gtest_filter='ShardIndependence.PooledReplicationsMatchSerial'
   # Replicated phase-type sampling fans the new alias-table sampler
   # across the pool.
   ./build-tsan/tests/test_phase_type \

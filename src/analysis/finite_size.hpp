@@ -32,4 +32,30 @@ struct ScalingFit {
     const sim::SimConfig& base, const std::vector<std::size_t>& counts,
     std::size_t replications, par::ThreadPool& pool);
 
+/// Weighted log-log power-law fit of the finite-size gap,
+///   |E[T](n) - E[T](inf)| ~= C * n^(-beta),
+/// the empirical side of Ying's Stein-method bounds (mean-field
+/// approximation error between O(1/sqrt(n)) and O(1/n)). Each point is a
+/// measured gap with a standard error; points whose gap is statistically
+/// unresolved (|gap| <= resolve_sigmas * se) are excluded from the
+/// regression — at large n the gap sinks below simulation noise unless
+/// the horizon grows with n, and fitting noise would bias beta toward 0.
+struct PowerLawFit {
+  double exponent = 0.0;      ///< beta: fitted decay rate of the gap
+  double exponent_se = 0.0;   ///< standard error of beta
+  double log_amplitude = 0.0; ///< ln C
+  double residual = 0.0;      ///< weighted RMS residual in log space
+  std::size_t points_used = 0;   ///< points that survived the resolve gate
+  std::size_t points_total = 0;  ///< points offered
+};
+
+/// Fits gap(n) = C * n^(-beta) by least squares of ln|gap| on ln n,
+/// weighted by the delta-method variance (se/gap)^2 of ln|gap|.
+/// `resolve_sigmas` gates unresolved points (0 keeps everything with
+/// gap != 0). Needs >= 2 surviving points.
+[[nodiscard]] PowerLawFit fit_decay_exponent(
+    const std::vector<std::size_t>& processor_counts,
+    const std::vector<double>& gaps, const std::vector<double>& gap_ses,
+    double resolve_sigmas = 2.0);
+
 }  // namespace lsm::analysis

@@ -5,7 +5,7 @@
 
 #include "sim/calendar.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/task_ring.hpp"
+#include "sim/queue_arena.hpp"
 #include "util/error.hpp"
 #include "util/statistics.hpp"
 
@@ -45,8 +45,8 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Spill events: the rare, cancellable kinds. Arrivals and completions —
-/// the two streams that dominate event volume — live in per-processor
-/// ProcCalendar slots instead and never pass through this queue.
+/// the two streams that dominate event volume — live in the sharded
+/// per-processor calendar instead and never pass through this queue.
 enum class Ev : std::uint8_t {
   Retry,
   TransferArrive,
@@ -56,11 +56,15 @@ enum class Ev : std::uint8_t {
 struct Payload {
   Ev kind;
   std::uint32_t proc;
-  std::uint64_t stamp;  // generation stamp for cancellable events
+  std::uint32_t stamp;  // generation stamp for cancellable events
 };
 
-/// Time-averaged tail histogram: lazily accumulated per level so each load
-/// change costs O(|delta|) instead of O(levels).
+/// Time-averaged tail histogram: one AGGREGATE accumulator per level,
+/// lazily folded so each load change costs O(|delta|) instead of
+/// O(levels). Deliberately not sharded: O(histogram_limit) doubles total
+/// (never O(n·limit)), and a single event-ordered accumulation stream is
+/// what keeps tail_fraction bit-identical across shard counts — a
+/// per-shard float merge would reorder the rounding.
 class TailStats {
  public:
   TailStats(std::size_t processors, std::size_t limit)
@@ -105,6 +109,11 @@ class TailStats {
     return out;
   }
 
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return count_ge_.capacity() * sizeof(std::uint32_t) +
+           (acc_.capacity() + last_t_.capacity()) * sizeof(double);
+  }
+
  private:
   void bump(std::size_t i, double t, int delta) {
     acc_[i] += count_ge_[i] * (t - last_t_[i]);
@@ -119,43 +128,50 @@ class TailStats {
   std::size_t limit_;
 };
 
-struct Proc {
-  TaskRing<double> queue;  // task arrival times; front() is in service
-  std::vector<double> inflight;  // stolen tasks en route to this processor
-  bool waiting = false;          // awaiting a transfer (steal one at a time)
-  std::uint64_t retry_stamp = 0;
-  std::uint64_t rebalance_stamp = 0;
-  double speed = 1.0;
-};
-
+/// Structure-of-arrays engine state: one shared queue arena, flat
+/// per-processor arrays allocated only when the configuration needs them
+/// (speeds, transfer buffers, cancellation stamps), and a sharded dual
+/// calendar — no per-processor heap objects anywhere. The old
+/// array-of-Proc layout cost ~200 bytes and 2+ heap blocks per
+/// processor; this one runs n = 10^6 inside ~80 bytes/processor.
 class Engine {
  public:
   Engine(const SimConfig& cfg, util::Xoshiro256 rng)
       : cfg_(cfg),
+        n_(cfg.processors),
         rng_(rng),
-        procs_(cfg.processors),
-        arrivals_(cfg.processors),
-        completions_(cfg.processors),
+        queues_(cfg.processors),
+        cal_(cfg.processors, cfg.shard_count),
         tails_(cfg.processors, cfg.histogram_limit) {
     if (!cfg_.speed_groups.empty()) {
+      speed_.assign(n_, 1.0);
       std::size_t p = 0;
       for (const auto& group : cfg_.speed_groups) {
         for (std::size_t k = 0; k < group.count; ++k) {
-          procs_[p++].speed = group.speed;
+          speed_[p++] = group.speed;
         }
       }
-    } else {
+    } else if (cfg_.fast_count > 0 || cfg_.slow_speed != 1.0) {
+      speed_.assign(n_, cfg_.slow_speed);
       for (std::size_t p = 0; p < cfg_.fast_count; ++p) {
-        procs_[p].speed = cfg_.fast_speed;
+        speed_[p] = cfg_.fast_speed;
       }
-      for (std::size_t p = cfg_.fast_count; p < procs_.size(); ++p) {
-        procs_[p].speed = cfg_.slow_speed;
-      }
+    }
+    const StealPolicy& pol = cfg_.policy;
+    if (pol.transfer != StealPolicy::Transfer::Instant) {
+      waiting_.assign(n_, 0);
+      inflight_.resize(n_);
+    }
+    if (pol.retry_rate > 0.0) retry_stamp_.assign(n_, 0);
+    if (pol.kind == StealPolicy::Kind::Rebalance && pol.rebalance_rate > 0.0) {
+      rebalance_stamp_.assign(n_, 0);
+    }
+    if (cfg_.collect_sojourn_histogram) {
+      shard_hists_.assign(cal_.shards(), SojournHistogram(true));
     }
     // Hoisted inverse rates: one division at setup instead of one per
     // event. The quotients are the exact doubles the per-event divisions
     // produced, so every sampled value is bit-identical.
-    const StealPolicy& pol = cfg_.policy;
     mean_interarrival_ = cfg_.arrival_rate + cfg_.internal_rate > 0.0
                              ? 1.0 / (cfg_.arrival_rate + cfg_.internal_rate)
                              : 0.0;
@@ -174,21 +190,22 @@ class Engine {
     double now = 0.0;
     bool hit_horizon = false;
     double next_sample = cfg_.timeline_dt > 0.0 ? 0.0 : horizon + 1.0;
-    // Merge loop over the three calendars: the next event is the least
-    // (time, seq) among their tops, which is exactly the pop order of the
-    // original single shared heap.
+    // Merge loop: the sharded calendar's root is the least (time, seq)
+    // over every arrival/completion slot; comparing it against the spill
+    // top reproduces exactly the pop order of one shared heap (all
+    // streams draw from one global sequence counter).
     for (;;) {
       enum class Src : std::uint8_t { None, Arrival, Completion, Spill };
-      ProcCalendar::Key next = arrivals_.top_key();
-      Src src = next.time < kInf ? Src::Arrival : Src::None;
-      if (const auto& ck = completions_.top_key(); ck.before(next)) {
-        next = ck;
-        src = Src::Completion;
-      }
+      ShardedCalendar::Key next = cal_.top_key();
+      Src src = next.time < kInf
+                    ? (cal_.top_stream() == ShardedCalendar::kArrival
+                           ? Src::Arrival
+                           : Src::Completion)
+                    : Src::None;
       if (!spill_.empty()) {
         const auto& se = spill_.top();
-        if (ProcCalendar::Key{se.time, se.seq}.before(next)) {
-          next = ProcCalendar::Key{se.time, se.seq};
+        if ((ShardedCalendar::Key{se.time, se.seq}).before(next)) {
+          next = ShardedCalendar::Key{se.time, se.seq};
           src = Src::Spill;
         }
       }
@@ -208,19 +225,21 @@ class Engine {
       now = t_next;
       switch (src) {
         case Src::Arrival:
-          on_arrival(arrivals_.top_proc(), now);
+          on_arrival(cal_.top_proc(), now);
           break;
         case Src::Completion: {
           // Fused re-key: the fired slot is left in place while the
           // handler runs; if the processor starts another service (next
           // queued task, or an instant steal), start_service re-keys the
-          // same slot with one sift — otherwise it is cleared here. This
-          // halves the calendar traffic on the busy path versus
-          // clear-then-set (sink +inf to the bottom, then sift back up).
-          const std::uint32_t p = completions_.top_proc();
+          // same slot with one replay — otherwise it is cleared here.
+          // This halves the calendar traffic on the busy path versus
+          // clear-then-set.
+          const std::uint32_t p = cal_.top_proc();
           pending_clear_ = p;
           on_completion(p, now);
-          if (pending_clear_ != kNoProc) completions_.clear(p);
+          if (pending_clear_ != kNoProc) {
+            cal_.clear(pending_clear_, ShardedCalendar::kCompletion);
+          }
           pending_clear_ = kNoProc;
           break;
         }
@@ -252,16 +271,16 @@ class Engine {
 
   void seed_initial_load() {
     for (std::size_t p = 0; p < cfg_.loaded_count; ++p) {
-      auto& proc = procs_[p];
+      const auto pid = static_cast<std::uint32_t>(p);
       for (std::size_t k = 0; k < cfg_.initial_tasks; ++k) {
-        proc.queue.push_back(0.0);
+        queues_.push_back(pid, 0.0);
       }
       total_tasks_ += cfg_.initial_tasks;
       result_.initial_tasks += cfg_.initial_tasks;
       tails_.change(0, cfg_.initial_tasks, 0.0);
-      if (!proc.queue.empty()) {
-        start_service(static_cast<std::uint32_t>(p), 0.0);
-        on_became_busy(static_cast<std::uint32_t>(p), 0.0);
+      if (!queues_.empty(pid)) {
+        start_service(pid, 0.0);
+        on_became_busy(pid, 0.0);
       }
     }
   }
@@ -273,8 +292,9 @@ class Engine {
     // division rate_now / max_rate_ (identical operands, identical bits).
     thin_while_idle_ = cfg_.internal_rate > 0.0;
     idle_accept_ = cfg_.arrival_rate / max_rate_;
-    for (std::uint32_t p = 0; p < procs_.size(); ++p) {
-      arrivals_.set(p, rng_.exponential(mean_interarrival_), next_seq_++);
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      cal_.set(p, ShardedCalendar::kArrival, rng_.exponential(mean_interarrival_),
+               next_seq_++);
     }
   }
 
@@ -295,30 +315,49 @@ class Engine {
   }
 
   void record_timeline(double t) {
-    const auto n = static_cast<double>(procs_.size());
+    const auto n = static_cast<double>(n_);
     result_.timeline.push_back(
         {t, static_cast<double>(total_tasks_) / n,
          static_cast<double>(tails_.count_ge(1)) / n});
   }
 
-  void note_queue_grew(const Proc& proc) {
+  void note_queue_grew(std::uint32_t p) {
     if (warmup_done_) {
-      result_.max_queue = std::max(result_.max_queue, proc.queue.size());
+      result_.max_queue = std::max(result_.max_queue, queues_.size(p));
     }
   }
 
   void finalize(double end) {
     const double start = cfg_.warmup;
     result_.measured_time = std::max(end - start, 0.0);
-    result_.tail_fraction = tails_.finalize(end, start, procs_.size());
+    result_.tail_fraction = tails_.finalize(end, start, n_);
     tasks_acc_ += static_cast<double>(total_tasks_) * (end - tasks_last_t_);
     result_.mean_tasks =
         result_.measured_time > 0.0
-            ? tasks_acc_ /
-                  (result_.measured_time * static_cast<double>(procs_.size()))
+            ? tasks_acc_ / (result_.measured_time * static_cast<double>(n_))
             : 0.0;
     result_.drain_time = last_completion_;
     result_.tasks_remaining = total_tasks_;
+    for (const auto& h : shard_hists_) result_.sojourn_hist.merge(h);
+    result_.shards_used = cal_.shards();
+    result_.engine_bytes = resident_bytes();
+  }
+
+  /// Engine-owned heap state (excludes result buffers): the number the
+  /// scale-out memory budget is accounted against.
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    std::uint64_t bytes = queues_.resident_bytes() + cal_.resident_bytes() +
+                          tails_.resident_bytes();
+    bytes += speed_.capacity() * sizeof(double);
+    bytes += waiting_.capacity() * sizeof(std::uint8_t);
+    bytes += (retry_stamp_.capacity() + rebalance_stamp_.capacity()) *
+             sizeof(std::uint32_t);
+    bytes += inflight_.capacity() * sizeof(std::vector<double>);
+    for (const auto& v : inflight_) bytes += v.capacity() * sizeof(double);
+    bytes += spill_.size() * sizeof(EventQueue<Payload>::Entry);
+    bytes += scratch_.capacity() * sizeof(double);
+    for (const auto& h : shard_hists_) bytes += h.resident_bytes();
+    return bytes;
   }
 
   // --- event dispatch ------------------------------------------------------
@@ -340,10 +379,10 @@ class Engine {
   void on_arrival(std::uint32_t p, double t) {
     // Each processor owns a Poisson stream at the maximum rate; thinning
     // yields the load-dependent rate lambda_ext + [busy] lambda_int. The
-    // stream's slot is re-keyed in place: one sift instead of pop + push.
-    arrivals_.set(p, t + rng_.exponential(mean_interarrival_), next_seq_++);
-    auto& proc = procs_[p];
-    if (thin_while_idle_ && proc.queue.empty() &&
+    // stream's slot is re-keyed in place: one replay instead of pop + push.
+    cal_.set(p, ShardedCalendar::kArrival,
+             t + rng_.exponential(mean_interarrival_), next_seq_++);
+    if (thin_while_idle_ && queues_.empty(p) &&
         rng_.uniform() >= idle_accept_) {
       return;  // thinned away
     }
@@ -352,19 +391,18 @@ class Engine {
     // forwarded once to a uniformly random processor.
     std::uint32_t dest = p;
     if (cfg_.policy.kind == StealPolicy::Kind::Share &&
-        proc.queue.size() >= cfg_.policy.threshold && procs_.size() > 1) {
+        queues_.size(p) >= cfg_.policy.threshold && n_ > 1) {
       ++result_.forwards;
       if (warmup_done_) ++result_.control_messages_measured;
       dest = random_victim(p);  // a self-pick keeps the task local
       if (dest != p) ++result_.tasks_moved;
     }
-    auto& target = procs_[dest];
-    const std::size_t old_load = target.queue.size();
-    target.queue.push_back(t);
+    const std::size_t old_load = queues_.size(dest);
+    queues_.push_back(dest, t);
     note_tasks_change(+1, t);
-    note_queue_grew(target);
+    note_queue_grew(dest);
     tails_.change(old_load, old_load + 1, t);
-    invalidate_retries(target);
+    invalidate_retries(dest);
     if (old_load == 0) {
       start_service(dest, t);
       on_became_busy(dest, t);
@@ -372,11 +410,10 @@ class Engine {
   }
 
   void on_completion(std::uint32_t p, double t) {
-    auto& proc = procs_[p];
-    LSM_ASSERT(!proc.queue.empty());
-    const double arrived = proc.queue.front();
-    proc.queue.pop_front();
-    const std::size_t load = proc.queue.size();
+    LSM_ASSERT(!queues_.empty(p));
+    const double arrived = queues_.front(p);
+    queues_.pop_front(p);
+    const std::size_t load = queues_.size(p);
     note_tasks_change(-1, t);
     tails_.change(load + 1, load, t);
     ++result_.completions;
@@ -386,23 +423,26 @@ class Engine {
       if (cfg_.collect_sojourns) {
         result_.sojourn_samples.push_back(t - arrived);
       }
+      if (!shard_hists_.empty()) {
+        shard_hists_[cal_.shard_of(p)].add(t - arrived);
+      }
     }
-    if (!proc.queue.empty()) {
+    if (!queues_.empty(p)) {
       start_service(p, t);
     } else {
-      on_became_idle(proc);
+      on_became_idle(p);
     }
     // Post-completion stealing.
     switch (cfg_.policy.kind) {
       case StealPolicy::Kind::OnEmpty:
-        if (load == 0 && !proc.waiting) {
+        if (load == 0 && !is_waiting(p)) {
           if (!attempt_steal(p, 0, t) && cfg_.policy.retry_rate > 0.0) {
             schedule_retry(p, t);
           }
         }
         break;
       case StealPolicy::Kind::Preemptive:
-        if (load <= cfg_.policy.begin_steal && !proc.waiting) {
+        if (load <= cfg_.policy.begin_steal && !is_waiting(p)) {
           const bool ok = attempt_steal(p, load, t);
           // Composed policies keep retrying while idle (load 0 only).
           if (!ok && load == 0 && cfg_.policy.retry_rate > 0.0) {
@@ -417,40 +457,38 @@ class Engine {
     }
   }
 
-  void on_retry(std::uint32_t p, std::uint64_t stamp, double t) {
-    auto& proc = procs_[p];
-    if (stamp != proc.retry_stamp) return;  // stale
-    if (!proc.queue.empty() || proc.waiting) return;
+  void on_retry(std::uint32_t p, std::uint32_t stamp, double t) {
+    if (stamp != retry_stamp_[p]) return;  // stale
+    if (!queues_.empty(p) || is_waiting(p)) return;
     if (!attempt_steal(p, 0, t)) schedule_retry(p, t);
   }
 
   void on_transfer_arrive(std::uint32_t p, double t) {
-    auto& proc = procs_[p];
-    LSM_ASSERT(proc.waiting);
-    proc.waiting = false;
-    const std::size_t old_load = proc.queue.size();
-    for (double arrived : proc.inflight) proc.queue.push_back(arrived);
-    const std::size_t gained = proc.inflight.size();
-    proc.inflight.clear();
-    note_queue_grew(proc);
+    LSM_ASSERT(waiting_[p]);
+    waiting_[p] = 0;
+    auto& inflight = inflight_[p];
+    const std::size_t old_load = queues_.size(p);
+    for (double arrived : inflight) queues_.push_back(p, arrived);
+    const std::size_t gained = inflight.size();
+    inflight.clear();
+    note_queue_grew(p);
     tails_.change(old_load, old_load + gained, t);
-    invalidate_retries(proc);
+    invalidate_retries(p);
     if (old_load == 0 && gained > 0) {
       start_service(p, t);
       on_became_busy(p, t);
     }
   }
 
-  void on_rebalance(std::uint32_t p, std::uint64_t stamp, double t) {
-    auto& proc = procs_[p];
-    if (stamp != proc.rebalance_stamp) return;  // stale
-    if (proc.queue.empty()) return;
-    if (procs_.size() > 1) {
+  void on_rebalance(std::uint32_t p, std::uint32_t stamp, double t) {
+    if (stamp != rebalance_stamp_[p]) return;  // stale
+    if (queues_.empty(p)) return;
+    if (n_ > 1) {
       const auto q = random_victim(p);
       if (q != p) rebalance_pair(p, q, t);
     }
     // Still busy (an even split never empties a busy initiator).
-    LSM_ASSERT(!proc.queue.empty());
+    LSM_ASSERT(!queues_.empty(p));
     schedule_rebalance(p, t);
   }
 
@@ -459,7 +497,7 @@ class Engine {
   /// One steal attempt by processor p whose current load is thief_load.
   /// Returns true if tasks were (or began being) transferred.
   bool attempt_steal(std::uint32_t p, std::size_t thief_load, double t) {
-    if (procs_.size() <= 1) return false;
+    if (n_ <= 1) return false;
     ++result_.steal_attempts;
     if (warmup_done_) ++result_.control_messages_measured;
     const StealPolicy& pol = cfg_.policy;
@@ -470,7 +508,7 @@ class Engine {
     for (std::size_t probe = 0; probe < pol.choices; ++probe) {
       const std::uint32_t v = random_victim(p);
       if (v == p) continue;
-      const std::size_t load = procs_[v].queue.size();
+      const std::size_t load = queues_.size(v);
       if (best == p || load > best_load) {
         best = v;
         best_load = load;
@@ -492,36 +530,34 @@ class Engine {
   /// steady-state allocation.
   void move_tasks(std::uint32_t victim, std::uint32_t thief, std::size_t take,
                   double t) {
-    auto& vic = procs_[victim];
-    auto& thf = procs_[thief];
-    LSM_ASSERT(take >= 1 && vic.queue.size() > take);
+    LSM_ASSERT(take >= 1 && queues_.size(victim) > take);
     result_.tasks_moved += take;
-    const std::size_t vic_load = vic.queue.size();
+    const std::size_t vic_load = queues_.size(victim);
     scratch_.clear();
-    vic.queue.take_back(take, scratch_);
+    queues_.take_back(victim, take, scratch_);
     tails_.change(vic_load, vic_load - take, t);
 
     if (cfg_.policy.transfer == StealPolicy::Transfer::Instant) {
-      const std::size_t old_load = thf.queue.size();
-      for (double arrived : scratch_) thf.queue.push_back(arrived);
-      note_queue_grew(thf);
+      const std::size_t old_load = queues_.size(thief);
+      for (double arrived : scratch_) queues_.push_back(thief, arrived);
+      note_queue_grew(thief);
       tails_.change(old_load, old_load + take, t);
-      invalidate_retries(thf);
+      invalidate_retries(thief);
       if (old_load == 0) {
         start_service(thief, t);
         on_became_busy(thief, t);
       }
     } else {
-      thf.inflight.assign(scratch_.begin(), scratch_.end());
-      thf.waiting = true;
-      invalidate_retries(thf);
+      inflight_[thief].assign(scratch_.begin(), scratch_.end());
+      waiting_[thief] = 1;
+      invalidate_retries(thief);
       push_spill(t + sample_transfer(), Payload{Ev::TransferArrive, thief, 0});
     }
   }
 
   void rebalance_pair(std::uint32_t a, std::uint32_t b, double t) {
-    const std::size_t la = procs_[a].queue.size();
-    const std::size_t lb = procs_[b].queue.size();
+    const std::size_t la = queues_.size(a);
+    const std::size_t lb = queues_.size(b);
     if (la == lb) return;
     const std::uint32_t donor = la > lb ? a : b;
     const std::uint32_t recv = la > lb ? b : a;
@@ -532,18 +568,16 @@ class Engine {
     if (donor_before <= donor_after) return;  // already balanced
     const std::size_t take = donor_before - donor_after;
 
-    auto& dn = procs_[donor];
-    auto& rc = procs_[recv];
     result_.tasks_moved += take;
     scratch_.clear();
-    dn.queue.take_back(take, scratch_);
+    queues_.take_back(donor, take, scratch_);
     tails_.change(donor_before, donor_after, t);
 
-    const std::size_t recv_before = rc.queue.size();
-    for (double arrived : scratch_) rc.queue.push_back(arrived);
-    note_queue_grew(rc);
+    const std::size_t recv_before = queues_.size(recv);
+    for (double arrived : scratch_) queues_.push_back(recv, arrived);
+    note_queue_grew(recv);
     tails_.change(recv_before, recv_before + take, t);
-    invalidate_retries(rc);
+    invalidate_retries(recv);
     if (recv_before == 0) {
       start_service(recv, t);
       on_became_busy(recv, t);
@@ -577,27 +611,30 @@ class Engine {
   }
 
   void start_service(std::uint32_t p, double t) {
-    auto& proc = procs_[p];
-    LSM_ASSERT(!proc.queue.empty());
+    LSM_ASSERT(!queues_.empty(p));
     double duration = cfg_.service.sample(rng_);
-    if (proc.speed != 1.0) duration /= proc.speed;
+    if (!speed_.empty() && speed_[p] != 1.0) duration /= speed_[p];
     if (p == pending_clear_) pending_clear_ = kNoProc;  // fused re-key
-    completions_.set(p, t + duration, next_seq_++);
+    cal_.set(p, ShardedCalendar::kCompletion, t + duration, next_seq_++);
   }
 
   void schedule_retry(std::uint32_t p, double t) {
-    auto& proc = procs_[p];
     push_spill(t + rng_.exponential(mean_retry_),
-               Payload{Ev::Retry, p, proc.retry_stamp});
+               Payload{Ev::Retry, p, retry_stamp_[p]});
   }
 
   void schedule_rebalance(std::uint32_t p, double t) {
-    auto& proc = procs_[p];
     push_spill(t + rng_.exponential(mean_rebalance_),
-               Payload{Ev::Rebalance, p, proc.rebalance_stamp});
+               Payload{Ev::Rebalance, p, rebalance_stamp_[p]});
   }
 
-  static void invalidate_retries(Proc& proc) { ++proc.retry_stamp; }
+  void invalidate_retries(std::uint32_t p) {
+    if (!retry_stamp_.empty()) ++retry_stamp_[p];
+  }
+
+  [[nodiscard]] bool is_waiting(std::uint32_t p) const noexcept {
+    return !waiting_.empty() && waiting_[p] != 0;
+  }
 
   void on_became_busy(std::uint32_t p, double t) {
     if (cfg_.policy.kind == StealPolicy::Kind::Rebalance &&
@@ -606,28 +643,30 @@ class Engine {
     }
   }
 
-  void on_became_idle(Proc& proc) { ++proc.rebalance_stamp; }
+  void on_became_idle(std::uint32_t p) {
+    if (!rebalance_stamp_.empty()) ++rebalance_stamp_[p];
+  }
 
   /// Victim index per the policy's sampling mode; may equal p when
   /// victims_include_self (the caller treats that as a failed probe).
   /// With a single processor the only possible victim is p itself — the
   /// uniform draw over the other n-1 processors would be rng_.below(0).
   [[nodiscard]] std::uint32_t random_victim(std::uint32_t p) {
-    LSM_ASSERT(p < procs_.size());
+    LSM_ASSERT(p < n_);
     if (cfg_.policy.victims_include_self) {
-      return static_cast<std::uint32_t>(rng_.below(procs_.size()));
+      return static_cast<std::uint32_t>(rng_.below(n_));
     }
-    if (procs_.size() == 1) return p;  // no other processor to probe
-    auto v = static_cast<std::uint32_t>(rng_.below(procs_.size() - 1));
+    if (n_ == 1) return p;  // no other processor to probe
+    auto v = static_cast<std::uint32_t>(rng_.below(n_ - 1));
     if (v >= p) ++v;
     return v;
   }
 
   const SimConfig& cfg_;
+  std::size_t n_;
   util::Xoshiro256 rng_;
-  std::vector<Proc> procs_;
-  ProcCalendar arrivals_;     ///< one self-regenerating slot per processor
-  ProcCalendar completions_;  ///< at most one in-service task per processor
+  QueueArena queues_;     ///< SoA per-processor task queues (shared arena)
+  ShardedCalendar cal_;   ///< arrival + completion slots, sharded trees
   EventQueue<Payload> spill_;  ///< rare cancellable events (retry/transfer/...)
   std::uint64_t next_seq_ = 0;  ///< global (time, seq) tie-break counter
   static constexpr std::uint32_t kNoProc =
@@ -638,6 +677,15 @@ class Engine {
   TailStats tails_;
   SimResult result_;
   std::vector<double> scratch_;  ///< reusable steal/rebalance staging buffer
+
+  // Optional per-processor arrays, allocated only when the configuration
+  // uses them (all empty on the homogeneous instant-steal hot path).
+  std::vector<double> speed_;               ///< heterogeneous speeds
+  std::vector<std::uint8_t> waiting_;       ///< awaiting a transfer
+  std::vector<std::vector<double>> inflight_;  ///< stolen tasks in transit
+  std::vector<std::uint32_t> retry_stamp_;
+  std::vector<std::uint32_t> rebalance_stamp_;
+  std::vector<SojournHistogram> shard_hists_;  ///< per-shard, exact merge
 
   double max_rate_ = 0.0;
   double mean_interarrival_ = 0.0;  ///< 1 / max_rate_ (hoisted division)

@@ -8,6 +8,7 @@
 
 #include "sim/distributions.hpp"
 #include "sim/policy.hpp"
+#include "sim/sojourn_histogram.hpp"
 #include "util/statistics.hpp"
 #include "util/xoshiro.hpp"
 
@@ -47,9 +48,20 @@ struct SimConfig {
 
   std::size_t histogram_limit = 64;  ///< track s_i for i <= limit
 
+  /// Calendar shards (processor blocks with per-shard winner trees and a
+  /// merge front). Purely a layout/performance knob: extraction is by
+  /// global (time, seq) minimum, so results are bit-for-bit identical
+  /// for every value. 0 picks the default block size (8192 processors).
+  std::size_t shard_count = 0;
+
   /// Keep every measured sojourn time (memory ~ 8 bytes/task) so callers
   /// can compute percentiles; off by default.
   bool collect_sojourns = false;
+
+  /// Accumulate measured sojourns into a fixed-footprint log-bucketed
+  /// histogram (per calendar shard, merged exactly at finalize) — the
+  /// large-n replacement for collect_sojourns, O(1) memory per run.
+  bool collect_sojourn_histogram = false;
 
   /// Sample (t, tasks/processor, busy fraction) every timeline_dt seconds
   /// from t = 0 (not warmup-gated): the transient trajectory that Kurtz's
@@ -103,6 +115,19 @@ struct SimResult {
 
   /// Raw measured sojourns (only when SimConfig::collect_sojourns).
   std::vector<double> sojourn_samples;
+
+  /// Log-bucketed sojourn histogram (only when
+  /// SimConfig::collect_sojourn_histogram); merged exactly across the
+  /// engine's shards, so it is shard-count independent.
+  SojournHistogram sojourn_hist;
+
+  /// Resident bytes of engine-owned simulator state at the end of the
+  /// run (queues, calendars, per-processor arrays, scratch — excludes
+  /// result buffers). The scale-out budget perf_sim tracks per case.
+  std::uint64_t engine_bytes = 0;
+
+  /// Calendar shards the engine actually used (after block rounding).
+  std::size_t shards_used = 0;
 
   /// Instantaneous system snapshots (only when SimConfig::timeline_dt > 0).
   struct TimelinePoint {

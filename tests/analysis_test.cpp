@@ -189,6 +189,54 @@ TEST(FiniteSize, RejectsDegenerateInput) {
                util::LogicError);
 }
 
+TEST(FiniteSize, DecayExponentExactOnSyntheticData) {
+  // gap = 5 * n^(-0.5) with uniform tiny errors must recover beta = 0.5.
+  const std::vector<std::size_t> ns = {128, 512, 2048, 8192, 32768};
+  std::vector<double> gaps, ses;
+  for (std::size_t n : ns) {
+    gaps.push_back(5.0 * std::pow(static_cast<double>(n), -0.5));
+    ses.push_back(1e-9);
+  }
+  const auto fit = analysis::fit_decay_exponent(ns, gaps, ses);
+  EXPECT_NEAR(fit.exponent, 0.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.log_amplitude), 5.0, 1e-6);
+  EXPECT_EQ(fit.points_used, ns.size());
+  EXPECT_NEAR(fit.residual, 0.0, 1e-9);
+  EXPECT_LT(fit.exponent_se, 1e-6);
+}
+
+TEST(FiniteSize, DecayExponentGatesUnresolvedPoints) {
+  // Last point's gap is buried in noise (|gap| < 2 se): it must be
+  // dropped, leaving the clean beta = 1 decay of the rest.
+  const std::vector<std::size_t> ns = {100, 1000, 10000, 100000};
+  std::vector<double> gaps = {1e-1, 1e-2, 1e-3, 2e-5};
+  std::vector<double> ses = {1e-4, 1e-4, 1e-4, 1e-4};
+  const auto fit = analysis::fit_decay_exponent(ns, gaps, ses);
+  EXPECT_EQ(fit.points_total, 4u);
+  EXPECT_EQ(fit.points_used, 3u);
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-6);
+}
+
+TEST(FiniteSize, DecayExponentWeightsPrecisePoints) {
+  // A noisy outlier with a huge SE must barely move the fit.
+  const std::vector<std::size_t> ns = {100, 1000, 10000, 100000};
+  std::vector<double> gaps = {1e-1, 1e-2, 1e-3, 3e-4};  // last is off-trend
+  std::vector<double> ses = {1e-6, 1e-7, 1e-8, 1e-4};   // ... and noisy
+  const auto fit = analysis::fit_decay_exponent(ns, gaps, ses);
+  EXPECT_EQ(fit.points_used, 4u);
+  EXPECT_NEAR(fit.exponent, 1.0, 0.05);
+}
+
+TEST(FiniteSize, DecayExponentRejectsDegenerateInput) {
+  EXPECT_THROW(
+      (void)analysis::fit_decay_exponent({4, 8}, {1.0}, {0.1}),
+      util::LogicError);
+  // Both points unresolved -> fewer than two survivors.
+  EXPECT_THROW((void)analysis::fit_decay_exponent({4, 8}, {1e-6, 1e-6},
+                                                  {1.0, 1.0}),
+               util::LogicError);
+}
+
 TEST(FiniteSize, ExtrapolationRecoversMeanFieldLimit) {
   par::ThreadPool pool(2);
   sim::SimConfig base;
