@@ -9,7 +9,7 @@
 // up as a diff.
 //
 //   perf_ode [out.json] [baseline.json]
-//            [--mode=current|legacy|sweep-warm|sweep-cold]
+//            [--mode=current|legacy|sweep-warm|sweep-cold|batch]
 //
 // Defaults: out = BENCH_ode.json, no baseline, mode = current. Mode
 // `legacy` pins the pre-engine behaviour (explicit relaxation or banded
@@ -17,15 +17,23 @@
 // acceleration, no adaptive truncation); it exists to record
 // BENCH_ode.baseline.json from the same binary. E[T] per case is included
 // in the JSON so an accidental semantic change is visible in the diff
-// (tests/golden_values_test.cpp pins the same values independently).
+// (tests/golden_values_test.cpp pins the same values independently). The
+// two 10^4-dimension near-critical cases exercise the matrix-free
+// Newton-Krylov path and are skipped in legacy mode (explicit relaxation
+// at that dimension and load would run for hours).
 //
 // The sweep modes measure λ-sweep continuation instead of standalone
 // solves: a 6-model x 16-λ grid chained through
 // core::FixedPointContinuation (sweep-warm) or solved point-by-point from
 // scratch (sweep-cold). sweep-warm also runs the cold reference in-process
 // and reports, per model, the evaluation reduction and the worst
-// warm-vs-cold sojourn deviation; the default output file for both is
-// BENCH_ode_sweep.json (the committed copy tracks the warm numbers).
+// warm-vs-cold sojourn deviation. Mode `batch` runs the same grid through
+// core::batched_lambda_sweep (SIMD-batched lanes, see core/batch.hpp) plus
+// the warm and cold scalar references in-process, reporting the batch
+// mode's evaluation and wall-time advantage over the warm scalar chain.
+// The default output file for all three is BENCH_ode_sweep.json (the
+// committed copy tracks the batch numbers, which embed the warm/cold
+// columns).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -38,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/fixed_point.hpp"
 #include "core/multi_class_ws.hpp"
 #include "core/registry.hpp"
@@ -56,6 +65,9 @@ double seconds_since(Clock::time_point t0) {
 struct PerfCase {
   std::string name;
   std::function<std::unique_ptr<core::MeanFieldModel>()> make;
+  /// Requires the current engine (Krylov path); skipped in legacy mode,
+  /// where explicit relaxation at the case's dimension would run for hours.
+  bool modern_only = false;
 };
 
 struct CaseResult {
@@ -63,6 +75,7 @@ struct CaseResult {
   std::size_t rhs_evals = 0;
   double seconds = 0.0;
   double sojourn = 0.0;
+  double residual = 0.0;
   std::string method;
   std::size_t final_truncation = 0;
   double baseline_evals = 0.0;   // 0 = no baseline
@@ -82,8 +95,9 @@ std::unique_ptr<core::MeanFieldModel> reg(const std::string& name,
 std::vector<PerfCase> perf_cases() {
   std::vector<PerfCase> cases;
   auto add = [&](std::string name,
-                 std::function<std::unique_ptr<core::MeanFieldModel>()> make) {
-    cases.push_back({std::move(name), std::move(make)});
+                 std::function<std::unique_ptr<core::MeanFieldModel>()> make,
+                 bool modern_only = false) {
+    cases.push_back({std::move(name), std::move(make), modern_only});
   };
   add("simple_l0.70", [] { return reg("simple", 0.70); });
   add("simple_l0.99", [] { return reg("simple", 0.99); });
@@ -120,6 +134,17 @@ std::vector<PerfCase> perf_cases() {
             {0.25, 1.6}, {0.5, 1.0}, {0.25, 0.4}},
         2);
   });
+  // 10^4-unknown near-critical studies: explicit truncations (registry "L")
+  // force the full discretization, and Auto dispatch routes dimensions this
+  // large to the matrix-free Newton-Krylov path. no-stealing at λ = 0.995
+  // doubles as an accuracy pin — its M/M/1 sojourn is exactly
+  // 1/(1-λ) = 200.
+  add("sharing_S1_L10239_l0.99",
+      [] { return reg("sharing", 0.99, {{"S", 1}, {"L", 10239}}); },
+      /*modern_only=*/true);
+  add("no_stealing_L10499_l0.995",
+      [] { return reg("no-stealing", 0.995, {{"L", 10499}}); },
+      /*modern_only=*/true);
   return cases;
 }
 
@@ -152,6 +177,7 @@ CaseResult time_case(const PerfCase& pc, bool legacy) {
     if (rep == 0 || secs < out.seconds) out.seconds = secs;
     out.rhs_evals = r.rhs_evals;  // deterministic: identical every rep
     out.sojourn = model->mean_sojourn(r.state);
+    out.residual = r.residual;
     out.method = ode::to_string(r.method);
     out.final_truncation = r.final_truncation;
   }
@@ -310,6 +336,126 @@ int run_sweep_mode(bool warm, const std::string& out_path) {
   return 0;
 }
 
+/// Solves the model's whole λ grid through the SIMD-batched block driver.
+core::BatchSweepResult run_batch_chain(const SweepModel& sm,
+                                       const std::vector<double>& lambdas) {
+  return core::batched_lambda_sweep(
+      [&](double lam) { return reg(sm.reg_name, lam, sm.params); }, lambdas);
+}
+
+/// --mode=batch: the batched lane sweep against its scalar references. The
+/// warm scalar chain is the incumbent (the previous tracked configuration),
+/// so the headline columns are batch-vs-warm; cold totals are kept so the
+/// historic warm-vs-cold reduction stays visible in the same file.
+int run_batch_mode(const std::string& out_path) {
+  const auto lambdas = sweep_lambdas();
+  std::cout << "=== perf_ode: batched λ-sweep (batch mode, "
+            << sweep_models().size() << " models x " << lambdas.size()
+            << " λ) ===\n\n";
+
+  util::Table table({"model", "batch evals", "warm evals", "cold evals",
+                     "redux", "wall speedup", "max |Δ sojourn|", "fb",
+                     "ms"});
+  auto cases_json = util::Json::array();
+  std::size_t total_batch = 0, total_warm = 0, total_cold = 0;
+  std::size_t total_fallbacks = 0;
+  double total_batch_secs = 0.0, total_warm_secs = 0.0, max_dev_all = 0.0;
+  for (const auto& sm : sweep_models()) {
+    const auto batch = run_batch_chain(sm, lambdas);
+    double batch_secs = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto t0 = Clock::now();
+      (void)run_batch_chain(sm, lambdas);
+      const double s = seconds_since(t0);
+      if (rep == 0 || s < batch_secs) batch_secs = s;
+    }
+    const auto warm = run_sweep_chain(sm, lambdas, true);
+    double warm_secs = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto t0 = Clock::now();
+      (void)run_sweep_chain(sm, lambdas, true);
+      const double s = seconds_since(t0);
+      if (rep == 0 || s < warm_secs) warm_secs = s;
+    }
+    const auto cold = run_sweep_chain(sm, lambdas, false);
+
+    double max_dev = 0.0;
+    for (std::size_t k = 0; k < lambdas.size(); ++k) {
+      max_dev = std::max(
+          max_dev, std::abs(batch.points[k].sojourn - warm.sojourns[k]));
+    }
+    total_batch += batch.rhs_evals;
+    total_warm += warm.rhs_evals;
+    total_cold += cold.rhs_evals;
+    total_fallbacks += batch.fallback_solves;
+    total_batch_secs += batch_secs;
+    total_warm_secs += warm_secs;
+    max_dev_all = std::max(max_dev_all, max_dev);
+    const double redux = static_cast<double>(warm.rhs_evals) /
+                         static_cast<double>(batch.rhs_evals);
+    const double speedup = warm_secs / batch_secs;
+
+    auto j = util::Json::object();
+    j["name"] = sm.name;
+    j["rhs_evals"] = batch.rhs_evals;
+    j["seconds"] = batch_secs;
+    j["sojourn_last"] = batch.points.back().sojourn;
+    j["batch_passes"] = batch.batch_passes;
+    j["fallback_solves"] = batch.fallback_solves;
+    j["warm_rhs_evals"] = warm.rhs_evals;
+    j["warm_seconds"] = warm_secs;
+    j["cold_rhs_evals"] = cold.rhs_evals;
+    j["batch_eval_reduction"] = redux;
+    j["batch_wall_speedup"] = speedup;
+    j["max_sojourn_dev"] = max_dev;
+    table.add_row({sm.name, std::to_string(batch.rhs_evals),
+                   std::to_string(warm.rhs_evals),
+                   std::to_string(cold.rhs_evals), util::Table::fmt(redux, 2),
+                   util::Table::fmt(speedup, 2), sci(max_dev),
+                   std::to_string(batch.fallback_solves),
+                   util::Table::fmt(batch_secs * 1e3, 2)});
+    cases_json.push_back(std::move(j));
+  }
+  table.print(std::cout);
+
+  const double agg_redux =
+      static_cast<double>(total_warm) / static_cast<double>(total_batch);
+  const double agg_speedup = total_warm_secs / total_batch_secs;
+  auto aggregate = util::Json::object();
+  aggregate["name"] = "aggregate";
+  aggregate["rhs_evals"] = total_batch;
+  aggregate["seconds"] = total_batch_secs;
+  aggregate["warm_rhs_evals"] = total_warm;
+  aggregate["warm_seconds"] = total_warm_secs;
+  aggregate["cold_rhs_evals"] = total_cold;
+  aggregate["batch_eval_reduction"] = agg_redux;
+  aggregate["batch_wall_speedup"] = agg_speedup;
+  aggregate["max_sojourn_dev"] = max_dev_all;
+  aggregate["fallback_solves"] = total_fallbacks;
+  std::cout << "\naggregate: batch " << total_batch << " rhs evals, "
+            << util::Table::fmt(total_batch_secs * 1e3, 1) << " ms (warm "
+            << total_warm << " evals, "
+            << util::Table::fmt(total_warm_secs * 1e3, 1) << " ms -> "
+            << util::Table::fmt(agg_redux, 2) << "x fewer evals, "
+            << util::Table::fmt(agg_speedup, 2) << "x faster, max dev "
+            << max_dev_all << ", " << total_fallbacks << " fallbacks)\n\n";
+
+  auto doc = util::Json::object();
+  doc["schema"] = "lsm-ode-sweep-perf/1";
+  doc["mode"] = "batch";
+  doc["workload"] =
+      "6-model x 16-λ ascending sweep, SIMD-batched lanes vs scalar warm "
+      "continuation; rhs_evals is deterministic, wall time best-of-" +
+      std::to_string(kRepetitions);
+  doc["lambda_grid"] = "0.50 + 0.032j, j = 0..15";
+  doc["sweep_cases"] = std::move(cases_json);
+  doc["aggregate"] = std::move(aggregate);
+  std::ofstream out(out_path, std::ios::trunc);
+  out << doc.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 /// Pulls `"<key>": <v>` following `"name": "<name>"` out of a previously
 /// written BENCH_ode.json. A full JSON parser is overkill for reading back
 /// our own flat output.
@@ -338,6 +484,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   bool legacy = false;
   int sweep = -1;  // -1 = not a sweep mode, else bool: warm?
+  bool batch = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -349,10 +496,12 @@ int main(int argc, char** argv) {
       sweep = 1;
     } else if (arg == "--mode=sweep-cold") {
       sweep = 0;
+    } else if (arg == "--mode=batch") {
+      batch = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg
                 << " (usage: perf_ode [out.json] [baseline.json]"
-                   " [--mode=current|legacy|sweep-warm|sweep-cold])\n";
+                   " [--mode=current|legacy|sweep-warm|sweep-cold|batch])\n";
       return 2;
     } else {
       positional.push_back(arg);
@@ -361,8 +510,10 @@ int main(int argc, char** argv) {
   if (!positional.empty()) out_path = positional[0];
   if (positional.size() > 1) baseline_path = positional[1];
   if (out_path.empty()) {
-    out_path = sweep >= 0 ? "BENCH_ode_sweep.json" : "BENCH_ode.json";
+    out_path =
+        (sweep >= 0 || batch) ? "BENCH_ode_sweep.json" : "BENCH_ode.json";
   }
+  if (batch) return run_batch_mode(out_path);
   if (sweep >= 0) return run_sweep_mode(sweep == 1, out_path);
   const std::string baseline =
       baseline_path.empty() ? "" : slurp(baseline_path);
@@ -377,13 +528,29 @@ int main(int argc, char** argv) {
   auto cases_json = util::Json::array();
   std::size_t total_evals = 0;
   double total_seconds = 0.0;
+  // Baseline comparisons only over the cases the baseline actually has:
+  // the modern_only 10^4-dim cases would otherwise pollute the aggregate
+  // redux/speedup columns with work the legacy engine never ran.
+  std::size_t comp_evals = 0;
+  double comp_seconds = 0.0;
+  double comp_base_evals = 0.0;
+  double comp_base_seconds = 0.0;
   for (const auto& pc : perf_cases()) {
+    if (legacy && pc.modern_only) continue;
     CaseResult r = time_case(pc, legacy);
     r.baseline_evals = baseline_value(baseline, r.name, "rhs_evals");
     r.baseline_seconds = baseline_value(baseline, r.name, "seconds");
     total_evals += r.rhs_evals;
     total_seconds += r.seconds;
     const bool has_base = r.baseline_evals > 0.0;
+    if (has_base) {
+      comp_evals += r.rhs_evals;
+      comp_base_evals += r.baseline_evals;
+      if (r.baseline_seconds > 0.0) {
+        comp_seconds += r.seconds;
+        comp_base_seconds += r.baseline_seconds;
+      }
+    }
     table.add_row(
         {r.name, r.method, std::to_string(r.final_truncation),
          std::to_string(r.rhs_evals), util::Table::fmt(r.seconds * 1e3, 2),
@@ -402,6 +569,7 @@ int main(int argc, char** argv) {
     j["rhs_evals"] = r.rhs_evals;
     j["seconds"] = r.seconds;
     j["sojourn"] = r.sojourn;
+    j["residual"] = r.residual;
     if (has_base) {
       j["baseline_rhs_evals"] = r.baseline_evals;
       j["eval_reduction"] =
@@ -419,20 +587,23 @@ int main(int argc, char** argv) {
   aggregate["name"] = "aggregate";
   aggregate["rhs_evals"] = total_evals;
   aggregate["seconds"] = total_seconds;
-  const double agg_base_evals = baseline_value(baseline, "aggregate", "rhs_evals");
-  const double agg_base_secs = baseline_value(baseline, "aggregate", "seconds");
   std::cout << "\naggregate: " << total_evals << " rhs evals, "
             << util::Table::fmt(total_seconds * 1e3, 1) << " ms";
-  if (agg_base_evals > 0.0) {
-    const double redux = agg_base_evals / static_cast<double>(total_evals);
-    aggregate["baseline_rhs_evals"] = agg_base_evals;
+  if (comp_base_evals > 0.0 && comp_evals > 0) {
+    const double redux =
+        comp_base_evals / static_cast<double>(comp_evals);
+    aggregate["comparable_rhs_evals"] = comp_evals;
+    aggregate["baseline_rhs_evals"] = comp_base_evals;
     aggregate["eval_reduction"] = redux;
-    std::cout << " (baseline " << util::Table::fmt(agg_base_evals, 0)
-              << " evals, " << util::Table::fmt(redux, 1) << "x fewer";
-    if (agg_base_secs > 0.0) {
-      aggregate["baseline_seconds"] = agg_base_secs;
-      aggregate["speedup"] = agg_base_secs / total_seconds;
-      std::cout << ", " << util::Table::fmt(agg_base_secs / total_seconds, 1)
+    std::cout << " (baseline-comparable cases: "
+              << util::Table::fmt(comp_base_evals, 0) << " baseline evals, "
+              << util::Table::fmt(redux, 1) << "x fewer";
+    if (comp_base_seconds > 0.0 && comp_seconds > 0.0) {
+      aggregate["comparable_seconds"] = comp_seconds;
+      aggregate["baseline_seconds"] = comp_base_seconds;
+      aggregate["speedup"] = comp_base_seconds / comp_seconds;
+      std::cout << ", "
+                << util::Table::fmt(comp_base_seconds / comp_seconds, 1)
                 << "x faster";
     }
     std::cout << ")";

@@ -5,9 +5,13 @@
 // newly registered model (and its parameters) shows up here untouched.
 //
 //   ./model_cli <model> [--lambda=0.9] [--<param>=..] [--tails=16]
-//               [--solver=auto|relax|stiff|anderson] [--max-evals=N]
+//               [--solver=auto|relax|stiff|anderson|krylov] [--max-evals=N]
 //               [--max-seconds=S] [--csv] [--json]
 //   ./model_cli --list
+//
+// The --solver choices come from ode::fixed_point_method_names(), the same
+// list parse_fixed_point_method consults, so a newly registered solver
+// (like the matrix-free Newton-Krylov path) appears here without edits.
 //
 // Failures (unknown model, bad flag, solver divergence or an exhausted
 // --max-evals/--max-seconds budget) exit nonzero; with --json they emit a
@@ -21,6 +25,15 @@
 #include "util/failure.hpp"
 
 namespace {
+
+std::string solver_choices() {
+  std::string out;
+  for (const auto& n : lsm::ode::fixed_point_method_names()) {
+    if (!out.empty()) out += '|';
+    out += n;
+  }
+  return out;
+}
 
 void print_model_list() {
   std::cout << "models:\n";
@@ -44,8 +57,10 @@ int main(int argc, char** argv) {
   const lsm::util::Args args(argc, argv);
   if (args.flag("list") || args.positional().empty()) {
     std::cout << "usage: model_cli <model> [--lambda=0.9] [--<param>=value] "
-                 "[--tails=16] [--solver=auto|relax|stiff|anderson] "
-                 "[--max-evals=N] [--max-seconds=S] [--csv] [--json]\n";
+                 "[--tails=16] [--solver=" +
+                     solver_choices() +
+                     "] "
+                     "[--max-evals=N] [--max-seconds=S] [--csv] [--json]\n";
     print_model_list();
     return args.flag("list") ? 0 : 1;
   }
@@ -115,6 +130,7 @@ int main(int argc, char** argv) {
       doc["params"] = std::move(params_json);
       doc["residual"] = fp.residual;
       doc["polished"] = fp.polished;
+      doc["polish_skipped"] = fp.polish_skipped;
       doc["solver"] = std::string(lsm::ode::to_string(fp.method));
       doc["fellback"] = fp.fellback;
       doc["iterations"] = static_cast<double>(fp.iterations);
@@ -141,7 +157,9 @@ int main(int argc, char** argv) {
     std::cout << "model            : " << model->name() << "\n"
               << "lambda           : " << lambda << "\n"
               << "fixed point      : residual " << fp.residual
-              << (fp.polished ? " (Newton-polished)" : "") << "\n"
+              << (fp.polished ? " (Newton-polished)"
+                              : fp.polish_skipped ? " (polish skipped)" : "")
+              << "\n"
               << "solver           : " << lsm::ode::to_string(fp.method)
               << (fp.fellback ? " (fell back to relaxation)" : "") << ", "
               << fp.rhs_evals << " RHS evals, " << fp.iterations

@@ -53,6 +53,22 @@ if [ "${SKIP_FAULTS:-0}" != "1" ]; then
   fi
   grep -q '"error"' "$fault_tmp/cli.json"
   grep -q '"kind": "solver-budget"' "$fault_tmp/cli.json"
+  # Same contract on the matrix-free path: an exhausted budget inside a
+  # Newton-Krylov solve and an injected divergence armed against a
+  # --solver=krylov run must both surface as structured errors.
+  if ./build/examples/model_cli no-stealing --lambda=0.99 --L=4999 \
+      --solver=krylov --max-evals=500 --json > "$fault_tmp/cli_krylov.json"; then
+    echo "krylov model_cli should have failed under an exhausted budget" >&2
+    exit 1
+  fi
+  grep -q '"kind": "solver-budget"' "$fault_tmp/cli_krylov.json"
+  if LSM_FAULT_SEED=20260810 LSM_FAULT_PROFILE="solver=1" \
+      ./build/examples/model_cli simple --lambda=0.9 --solver=krylov \
+      --json > "$fault_tmp/cli_krylov_fault.json"; then
+    echo "krylov model_cli should have failed under an armed solver fault" >&2
+    exit 1
+  fi
+  grep -q '"kind": "solver-diverged"' "$fault_tmp/cli_krylov_fault.json"
 fi
 
 if [ "${SKIP_PHASE_TYPE:-0}" != "1" ]; then
@@ -98,8 +114,13 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_parallel test_exp_runner test_fault_injection
-  cmake --build build-tsan -j "$jobs" --target test_phase_type test_sim_shards
+  cmake --build build-tsan -j "$jobs" \
+    --target test_phase_type test_sim_shards test_krylov
   ./build-tsan/tests/test_parallel
+  # The Krylov/batched-RHS suite: single-threaded by design, run under
+  # TSan anyway so a future pooled batch sweep cannot silently introduce
+  # unsynchronized shared workspace state.
+  ./build-tsan/tests/test_krylov
   # Sharded-engine replications across the pool: shard-count independence
   # must hold with the SoA engines running on pool threads.
   ./build-tsan/tests/test_sim_shards \
@@ -119,12 +140,13 @@ if [ "${SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -G Ninja -DLSM_SANITIZE=undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-ubsan -j "$jobs" \
-    --target test_ode test_implicit test_anderson test_hot_loop_alloc \
-    test_model_fixed_point test_phase_type
+    --target test_ode test_implicit test_anderson test_krylov \
+    test_hot_loop_alloc test_model_fixed_point test_phase_type
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
   ./build-ubsan/tests/test_ode
   ./build-ubsan/tests/test_implicit
   ./build-ubsan/tests/test_anderson
+  ./build-ubsan/tests/test_krylov
   ./build-ubsan/tests/test_hot_loop_alloc
   ./build-ubsan/tests/test_model_fixed_point
   ./build-ubsan/tests/test_phase_type
@@ -149,12 +171,13 @@ if [ "${SKIP_PERF:-0}" != "1" ]; then
   ./build/bench/perf/perf_ode bench/perf/BENCH_ode.json \
     bench/perf/BENCH_ode.baseline.json
 
-  # Warm-started λ-sweep continuation: runs the 6-model x 16-λ grid warm
-  # and cold in one process; a regression shows as a shrinking
-  # eval-reduction column in the BENCH_ode_sweep.json diff.
-  echo "== perf smoke: warm sweep continuation vs cold (report-only)"
+  # Batched λ-sweep: runs the 6-model x 16-λ grid through the SIMD-batched
+  # block driver AND the warm/cold scalar chains in one process; a
+  # regression shows as a shrinking batch_eval_reduction /
+  # batch_wall_speedup column in the BENCH_ode_sweep.json diff.
+  echo "== perf smoke: batched sweep vs warm/cold scalar chains (report-only)"
   ./build/bench/perf/perf_ode bench/perf/BENCH_ode_sweep.json \
-    --mode=sweep-warm
+    --mode=batch
 fi
 
 echo "check: all green"

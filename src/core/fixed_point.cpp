@@ -29,6 +29,10 @@ class RootSystem final : public ode::OdeSystem {
   void deriv(double /*t*/, const ode::State& s, ode::State& ds) const override {
     model_.root_residual(s, ds);
   }
+  [[nodiscard]] bool deriv_batch(double /*t*/, std::size_t nb, const double* x,
+                                 double* dx) const override {
+    return model_.root_residual_batch(nb, nullptr, x, dx);
+  }
   [[nodiscard]] std::size_t dimension() const override {
     return model_.dimension();
   }
@@ -94,6 +98,7 @@ ode::FixedPointSolveResult iterate(const MeanFieldModel& model, ode::State s0,
   if (warm && opts.polish) sopts.tol = opts.relax_tol;
   sopts.label = solve_label(model);
   sopts.anderson = opts.anderson;
+  sopts.krylov = opts.krylov;
   sopts.relax_fallback = relax_fallback;
   // With a Newton polish downstream a stalled-but-close Anderson run is
   // worth accepting over a relaxation fallback (see solve.hpp).
@@ -136,9 +141,32 @@ FixedPointResult finish_failed(FixedPointResult&& result, std::size_t rung) {
 void polish(const MeanFieldModel& model, FixedPointResult& result,
             const FixedPointOptions& opts,
             ode::NewtonWorkspace* reuse = nullptr) {
-  if (!opts.polish || model.dimension() > opts.newton_max_dim) return;
+  if (!opts.polish) return;
   const RootSystem root(model);
   const ode::CountingSystem counted(root);
+  if (model.dimension() > opts.newton_max_dim) {
+    if (!opts.krylov_polish) {
+      // Too large for the dense Jacobian and the matrix-free path is off:
+      // record the skip instead of silently reporting the iterative
+      // residual as if it had been polished.
+      result.polish_skipped = true;
+      return;
+    }
+    ode::NewtonKrylovOptions kopts = opts.krylov;
+    kopts.tol = opts.polish_tol;
+    auto nk = ode::newton_krylov_fixed_point(counted, result.state, kopts,
+                                             reuse);
+    result.rhs_evals += counted.evals();
+    // Inexact Newton may stop shy of polish_tol on a hard system; any
+    // residual improvement is still worth keeping (polished stays honest:
+    // it means the full polish_tol target was reached).
+    if (nk.residual_norm < result.residual) {
+      result.state = std::move(nk.state);
+      result.residual = nk.residual_norm;
+      result.polished = nk.converged;
+    }
+    return;
+  }
   ode::NewtonOptions nopts;
   nopts.tol = opts.polish_tol;
   auto polished = ode::newton_fixed_point(counted, result.state, nopts, reuse);

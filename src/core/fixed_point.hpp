@@ -44,7 +44,19 @@ struct FixedPointOptions {
   double relax_tol = 1e-8;
   double polish_tol = 1e-13;  ///< ||f||_inf target for the Newton phase
   bool polish = true;
-  std::size_t newton_max_dim = 1400;  ///< skip Newton above this dimension
+  /// Largest dimension polished with the dense-Jacobian Newton (an O(n)
+  /// evaluation Jacobian plus O(n^3) factorization per rebuild). Above it
+  /// the polish switches to matrix-free Newton-Krylov (krylov_polish),
+  /// or — with krylov_polish = false — is skipped and recorded in
+  /// FixedPointResult::polish_skipped.
+  std::size_t newton_max_dim = 1400;
+  /// Polish dimensions above newton_max_dim with the matrix-free
+  /// Newton-GMRES solver instead of silently skipping the polish.
+  bool krylov_polish = true;
+  /// Newton-Krylov tuning for the large-dimension polish and for solves
+  /// routed to ode's Krylov path (tol is overwritten with polish_tol
+  /// respectively the rung tolerance).
+  ode::NewtonKrylovOptions krylov{};
   double t_max = 1e6;                 ///< relaxation horizon before giving up
   double check_interval = 25.0;       ///< relaxation convergence test period
   /// Iterative engine selection, forwarded to ode::solve_fixed_point
@@ -93,6 +105,11 @@ struct FixedPointResult {
   ode::State state;
   double residual = 0.0;   ///< final ||f(s)||_inf
   bool polished = false;   ///< Newton phase ran and converged
+  /// A polish was requested but skipped: the dimension exceeds
+  /// newton_max_dim and krylov_polish is off. Surfaced (rather than
+  /// silently dropped) so callers reporting polish_tol-level accuracy can
+  /// tell when they only got the iterative-phase residual.
+  bool polish_skipped = false;
   double relax_time = 0.0; ///< virtual time used by explicit relaxation
   /// Iterative path that produced the pre-polish state (Anderson, Stiff,
   /// or Relax after a fallback) at the final ladder rung.

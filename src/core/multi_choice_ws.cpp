@@ -55,6 +55,61 @@ void MultiChoiceWS::deriv(double /*t*/, const ode::State& s,
   }
 }
 
+bool MultiChoiceWS::rhs_batch(std::size_t nb, const double* lambdas,
+                              const double* x, double* dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t d = choices_;
+  // Rows split at T so the victim-probability evaluation is hoisted out of
+  // the plain inner loops; int_pow per lane matches the scalar d-fold
+  // product bit for bit.
+  const double* s1 = x + nb;
+  const double* s2 = x + 2 * nb;
+  const double* sT = x + T * nb;
+  for (std::size_t l = 0; l < nb; ++l) dx[l] = 0.0;
+  for (std::size_t l = 0; l < nb; ++l) {
+    const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+    const double fail_prob = int_pow(1.0 - sT[l], d);
+    dx[nb + l] = lam * (x[l] - s1[l]) - (s1[l] - s2[l]) * fail_prob;
+  }
+  for (std::size_t i = 2; i < T; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;  // i < T < L, tracked
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]);
+    }
+  }
+  for (std::size_t i = T; i < L; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      const double victim_prob =
+          int_pow(1.0 - sn[l], d) - int_pow(1.0 - si[l], d);
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]) -
+               victim_prob * (s1[l] - s2[l]);
+    }
+  }
+  {
+    const double* sp = x + (L - 1) * nb;
+    const double* si = x + L * nb;
+    double* out = dx + L * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      const double victim_prob =
+          int_pow(1.0 - 0.0, d) - int_pow(1.0 - si[l], d);
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - 0.0) -
+               victim_prob * (s1[l] - s2[l]);
+    }
+  }
+  return true;
+}
+
 double MultiChoiceWS::tail_ratio_bound(const ode::State& pi) const {
   LSM_ASSERT(pi.size() >= 3);
   return lambda_ /

@@ -53,4 +53,94 @@ void MultiStealWS::deriv(double /*t*/, const ode::State& s,
   }
 }
 
+bool MultiStealWS::rhs_batch(std::size_t nb, const double* lambdas,
+                             const double* x, double* dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  const std::size_t k = k_;
+  // deriv()'s i <= k / i + k > T branches become disjoint i-ranges (k <= T/2
+  // and L >= T + k + 3 keep them non-overlapping and in-bounds), so every
+  // inner lane loop is branch-free. Per-lane arithmetic matches deriv().
+  const double* s1 = x + nb;
+  const double* s2 = x + 2 * nb;
+  const double* sT = x + T * nb;
+  for (std::size_t l = 0; l < nb; ++l) dx[l] = 0.0;
+  for (std::size_t l = 0; l < nb; ++l) {
+    const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+    dx[nb + l] = lam * (x[l] - s1[l]) - (s1[l] - s2[l]) * (1.0 - sT[l]);
+  }
+  // 2 <= i <= k: a successful steal lifts the thief across these levels.
+  for (std::size_t i = 2; i <= k; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]) +
+               (s1[l] - s2[l]) * sT[l];
+    }
+  }
+  // k + 1 <= i <= T - k: untouched by steals.
+  for (std::size_t i = std::max<std::size_t>(2, k + 1); i <= T - k; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]);
+    }
+  }
+  // T - k + 1 <= i <= T - 1: victim drop with lo pinned at s_T.
+  for (std::size_t i = T - k + 1; i < T; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    const double* hi = x + (i + k) * nb;  // i + k <= T + k - 1 < L
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]) -
+               (s1[l] - s2[l]) * (sT[l] - hi[l]);
+    }
+  }
+  // T <= i <= L - k: victim drop with lo = s_i, hi tracked.
+  for (std::size_t i = T; i + k <= L; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    const double* hi = x + (i + k) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]) -
+               (s1[l] - s2[l]) * (si[l] - hi[l]);
+    }
+  }
+  // L - k < i < L: hi beyond the truncation (treated as 0).
+  for (std::size_t i = L - k + 1; i < L; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]) -
+               (s1[l] - s2[l]) * (si[l] - 0.0);
+    }
+  }
+  {
+    const double* sp = x + (L - 1) * nb;
+    const double* si = x + L * nb;
+    double* out = dx + L * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - 0.0) -
+               (s1[l] - s2[l]) * (si[l] - 0.0);
+    }
+  }
+  return true;
+}
+
 }  // namespace lsm::core

@@ -35,6 +35,33 @@ void NoStealing::deriv(double /*t*/, const ode::State& s,
   }
 }
 
+bool NoStealing::rhs_batch(std::size_t nb, const double* lambdas,
+                           const double* x, double* dx) const {
+  const std::size_t L = trunc_;
+  // Component-major lanes, bit-identical per lane to deriv().
+  for (std::size_t l = 0; l < nb; ++l) dx[l] = 0.0;
+  for (std::size_t i = 1; i < L; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]);
+    }
+  }
+  {
+    const double* sp = x + (L - 1) * nb;
+    const double* si = x + L * nb;
+    double* out = dx + L * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - 0.0);
+    }
+  }
+  return true;
+}
+
 ode::State NoStealing::analytic_fixed_point() const { return mm1_state(); }
 
 double NoStealing::analytic_sojourn() const { return 1.0 / (1.0 - lambda_); }

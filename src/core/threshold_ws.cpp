@@ -40,6 +40,56 @@ void ThresholdWS::deriv(double /*t*/, const ode::State& s,
   }
 }
 
+bool ThresholdWS::rhs_batch(std::size_t nb, const double* lambdas,
+                            const double* x, double* dx) const {
+  const std::size_t L = trunc_;
+  const std::size_t T = threshold_;
+  // Component-major lanes; the bulk rows split at T so the steal term is
+  // hoisted out of the inner loops, which then vectorize. Each lane's
+  // arithmetic matches deriv() operation for operation.
+  const double* s0 = x;
+  const double* s1 = x + nb;
+  const double* s2 = x + 2 * nb;
+  const double* sT = x + T * nb;
+  for (std::size_t l = 0; l < nb; ++l) dx[l] = 0.0;
+  for (std::size_t l = 0; l < nb; ++l) {
+    const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+    dx[nb + l] = lam * (s0[l] - s1[l]) - (s1[l] - s2[l]) * (1.0 - sT[l]);
+  }
+  for (std::size_t i = 2; i < T; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;  // i < T < L, so i + 1 is tracked
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]);
+    }
+  }
+  for (std::size_t i = T; i < L; ++i) {
+    const double* sp = x + (i - 1) * nb;
+    const double* si = x + i * nb;
+    const double* sn = x + (i + 1) * nb;
+    double* out = dx + i * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - sn[l]) -
+               (si[l] - sn[l]) * (s1[l] - s2[l]);
+    }
+  }
+  {
+    const double* sp = x + (L - 1) * nb;
+    const double* si = x + L * nb;
+    double* out = dx + L * nb;
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double lam = lambdas != nullptr ? lambdas[l] : lambda_;
+      out[l] = lam * (sp[l] - si[l]) - (si[l] - 0.0) -
+               (si[l] - 0.0) * (s1[l] - s2[l]);
+    }
+  }
+  return true;
+}
+
 double ThresholdWS::analytic_pi_threshold() const {
   const double b = 1.0 + lambda_;
   const double disc = b * b - 4.0 * std::pow(lambda_, static_cast<double>(threshold_));

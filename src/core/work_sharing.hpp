@@ -28,6 +28,8 @@ class WorkSharingWS final : public MeanFieldModel {
                 std::size_t truncation = 0);
 
   void deriv(double t, const ode::State& s, ode::State& ds) const override;
+  [[nodiscard]] bool rhs_batch(std::size_t nb, const double* lambdas,
+                               const double* x, double* dx) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::size_t share_threshold() const noexcept {

@@ -61,9 +61,11 @@ Job simulate_part(const Job& job) {
 /// continuation. A cache hit re-seeds the chain from the stored compact
 /// state (bit-exact: the cache round-trips doubles losslessly), so a
 /// resumed sweep's first miss solves warm from the same seed the
-/// uninterrupted run would have used. The Newton chord is not persisted —
-/// it is rebuilt on the first polish — so a resumed point can differ from
-/// the uninterrupted one below the polish tolerance, never above it.
+/// uninterrupted run would have used. The Newton chord (the dense LU, or
+/// the banded factorization the Newton–Krylov polish preconditions with at
+/// large dimensions) is not persisted — it is rebuilt on the first polish —
+/// so a resumed point can differ from the uninterrupted one below the
+/// polish tolerance, never above it.
 std::vector<Partial> run_chain(const std::vector<std::size_t>& indices,
                                const std::vector<Job>& jobs,
                                const ResultCache& cache,

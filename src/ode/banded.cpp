@@ -69,28 +69,35 @@ BandedLuSolver::BandedLuSolver(BandedMatrix a)
 }
 
 std::vector<double> BandedLuSolver::solve(std::vector<double> b) const {
+  LSM_EXPECT(b.size() == lu_.n_, "rhs has wrong dimension");
+  solve_into(b.data(), b.data());  // in-place: aliasing is fine here
+  return b;
+}
+
+void BandedLuSolver::solve_into(const double* b, double* x) const {
   const std::size_t n = lu_.n_;
-  LSM_EXPECT(b.size() == n, "rhs has wrong dimension");
   const std::size_t kl = lu_.kl_;
   const std::size_t ku_eff = lu_.ku_ + kl;
+  if (x != b) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[i];
+  }
   // Forward: apply row swaps and the unit-lower multipliers.
   for (std::size_t k = 0; k < n; ++k) {
-    if (pivot_[k] != k) std::swap(b[k], b[pivot_[k]]);
+    if (pivot_[k] != k) std::swap(x[k], x[pivot_[k]]);
     const std::size_t row_max = std::min(k + kl, n - 1);
     for (std::size_t r = k + 1; r <= row_max; ++r) {
-      b[r] -= lu_.get(r, k) * b[k];
+      x[r] -= lu_.get(r, k) * x[k];
     }
   }
   // Back substitution on the upper factor.
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = b[ii];
+    double acc = x[ii];
     const std::size_t col_max = std::min(ii + ku_eff, n - 1);
     for (std::size_t j = ii + 1; j <= col_max; ++j) {
-      acc -= lu_.get(ii, j) * b[j];
+      acc -= lu_.get(ii, j) * x[j];
     }
-    b[ii] = acc / lu_.get(ii, ii);
+    x[ii] = acc / lu_.get(ii, ii);
   }
-  return b;
 }
 
 }  // namespace lsm::ode

@@ -54,6 +54,12 @@ class BandedLuSolver {
 
   [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
 
+  /// Allocation-free solve for hot paths: reads b, writes x, both length
+  /// size(); x == b solves in place.
+  void solve_into(const double* b, double* x) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.size(); }
+
  private:
   BandedMatrix lu_;
   std::vector<std::size_t> pivot_;  // pivot row chosen at each step

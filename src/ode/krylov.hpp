@@ -1,0 +1,178 @@
+// Matrix-free Newton–Krylov machinery for large fixed-point polish:
+//
+//  * gmres            - restarted GMRES(m) with modified Gram–Schmidt
+//    Arnoldi, Givens-rotation least squares and optional RIGHT
+//    preconditioning (the iterate stays in the original variables, so the
+//    convergence test is on the true residual). The workspace holds the
+//    fixed Krylov basis storage and is allocation-free once warmed up.
+//  * JacobianOperator - J·v by a one-sided directional difference
+//    (f(s + h v) − f(s)) / h: ONE derivative evaluation per product, no
+//    Jacobian ever materialized. That is the whole point: at n = 10^4 a
+//    dense finite-difference Jacobian costs n evaluations and O(n^3) to
+//    factor, while a Krylov solve needs only as many J·v products as
+//    iterations.
+//  * newton_krylov_fixed_point - inexact Newton over GMRES with
+//    Eisenstat–Walker forcing, a backtracking line search on the true
+//    residual, and a chord preconditioner: a dense LU for small systems
+//    (reusable across solves via ode::NewtonWorkspace, same contract as the
+//    dense polish) or a finite-difference banded LU for large ones. The
+//    mean-field Jacobians are band + low-rank tail couplings, so the exact
+//    band (per-column differences) preconditions the system down to a
+//    low-rank perturbation of the identity — GMRES's best case — while an
+//    O(n b^2) factorization replaces the O(n^3) dense one.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "ode/implicit.hpp"
+#include "ode/newton.hpp"
+#include "ode/state.hpp"
+#include "ode/system.hpp"
+
+namespace lsm::ode {
+
+class BandedLuSolver;
+class LuSolver;
+
+/// Abstract y = A x over raw length-n arrays. Implementations are small
+/// stack-allocated adapters (no std::function: the apply sits inside the
+/// Krylov iteration and must not allocate).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  /// Writes A x into y; x and y are length size() and must not alias.
+  virtual void apply(const double* x, double* y) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+struct GmresOptions {
+  std::size_t restart = 30;     ///< Krylov subspace dimension m per cycle
+  std::size_t max_iters = 200;  ///< total Arnoldi steps across restarts
+  /// Absolute 2-norm residual target (callers set it from the outer
+  /// Newton forcing term, so there is no meaningful default scale).
+  double tol = 1e-12;
+  /// A restart cycle must shrink the true residual below this factor of
+  /// the previous cycle's, else the solve stops as stagnated (singular or
+  /// ill-conditioned systems plateau instead of diverging).
+  double stagnation_factor = 0.95;
+};
+
+struct GmresResult {
+  double residual = 0.0;        ///< final true 2-norm residual
+  std::size_t iterations = 0;   ///< Arnoldi steps == operator applications
+  std::size_t restarts = 0;     ///< completed cycles beyond the first
+  bool converged = false;
+  bool stagnated = false;       ///< a restart cycle failed to make progress
+};
+
+/// Fixed storage for gmres(): the (m+1) x n Krylov basis, the Hessenberg
+/// column store and the rotation/scratch vectors. ensure() only touches
+/// memory when n or m grow, so repeated solves of the same shape are
+/// allocation-free (enforced by hot_loop_alloc_test).
+class GmresWorkspace {
+ public:
+  void ensure(std::size_t n, std::size_t restart);
+
+  std::vector<double> basis;  ///< (m+1) rows of length n, row-major
+  std::vector<double> hess;   ///< column j at [j*(m+1)], length m+1
+  std::vector<double> cs, sn, g, y;
+  std::vector<double> w, z, r;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+};
+
+/// Solves A x = b (x holds the initial guess on entry, the solution on
+/// exit) by restarted GMRES. With `right_precond` (an operator applying
+/// M^-1) the Krylov iteration runs on A M^-1 and un-preconditions the
+/// update, so residuals — and the convergence test — stay those of the
+/// original system. Never throws: singular/stagnating systems return
+/// converged = false with the best iterate in x.
+GmresResult gmres(const LinearOperator& op, const double* b, double* x,
+                  const GmresOptions& opts, GmresWorkspace& ws,
+                  const LinearOperator* right_precond = nullptr);
+
+/// Matrix-free J·v at a base point (s, f = f(s)) by a one-sided directional
+/// difference with the step scaled to ||s||_inf / ||v||_inf: one derivative
+/// evaluation per apply.
+class JacobianOperator final : public LinearOperator {
+ public:
+  explicit JacobianOperator(const OdeSystem& sys, double fd_eps = 1e-7);
+
+  /// Re-bases the operator; `s` and `f` must outlive subsequent applies.
+  void rebase(const State& s, const State& f);
+
+  void apply(const double* v, double* y) const override;
+  [[nodiscard]] std::size_t size() const override { return sys_.dimension(); }
+
+ private:
+  const OdeSystem& sys_;
+  double eps_;
+  double scale_ = 1.0;  ///< 1 + ||s||_inf at the base point
+  const State* s_ = nullptr;
+  const State* f_ = nullptr;
+  mutable State pert_, f_pert_;
+};
+
+struct NewtonKrylovOptions {
+  double tol = 1e-13;        ///< stop when ||f(s)||_inf < tol
+  std::size_t max_iter = 50; ///< outer Newton iterations
+  double fd_eps = 1e-7;      ///< directional-difference step scale
+  GmresOptions gmres{};      ///< inner solver; gmres.tol is overwritten
+  /// Eisenstat–Walker forcing bracket: the inner solve runs to
+  /// eta * ||f||_2 with eta shrinking as the outer iteration converges.
+  double forcing_max = 1e-2;
+  double forcing_min = 1e-8;
+  /// Chord preconditioner selection. At or below dense_precond_max_dim a
+  /// dense finite-difference LU is built (n evaluations — worth it only
+  /// while n^3 factorization is cheap) and reused chord-style across
+  /// iterations and, via the NewtonWorkspace argument, across solves.
+  /// Above it, a banded LU with kl = ku = banded_precond_bandwidth;
+  /// 0 bandwidth runs unpreconditioned.
+  std::size_t dense_precond_max_dim = 600;
+  std::size_t banded_precond_bandwidth = 2;
+  /// How the banded chord is differenced. PerColumn (n evaluations) reads
+  /// the exact band of ANY Jacobian, so the off-band low-rank couplings of
+  /// the mean-field models — and the cross-segment blocks of the
+  /// two-segment transfer family — never alias into the band. Grouped
+  /// (kl + ku + 1 evaluations) is far cheaper but correct only for truly
+  /// banded Jacobians; aliased far entries can corrupt the band badly
+  /// enough that GMRES stagnates. Robust default, cheap opt-in.
+  FdMode banded_fd_mode = FdMode::PerColumn;
+  /// Optional budgets (0 = unlimited), checked at outer-iteration
+  /// granularity like the other solvers in this directory.
+  std::size_t max_rhs_evals = 0;
+  double max_wall_seconds = 0.0;
+};
+
+struct NewtonKrylovResult {
+  State state;
+  double residual_norm = 0.0;       ///< final ||f||_inf
+  std::size_t iterations = 0;       ///< outer Newton steps
+  std::size_t inner_iterations = 0; ///< total GMRES steps (≈ J·v evals)
+  std::size_t rhs_evals = 0;        ///< derivative evaluations, all phases
+  /// Preconditioner (re)builds: dense ones cost `dimension` evaluations,
+  /// banded ones `dimension` under FdMode::PerColumn (the default) or
+  /// kl + ku + 1 under FdMode::Grouped.
+  std::size_t jacobian_builds = 0;
+  bool converged = false;
+  bool budget_exhausted = false;    ///< stopped on max_rhs_evals/wall
+};
+
+/// Solves f(s) = 0 (f = sys.deriv at t = 0) by inexact Newton–GMRES. On
+/// stagnation returns the best iterate with converged = false rather than
+/// throwing, matching newton_fixed_point. A non-null `precond_reuse`
+/// workspace shares the chord factorization across solves in a
+/// continuation chain — the dense LU at dimension <= dense_precond_max_dim,
+/// the banded LU above it. Sharing the banded chord matters most: a
+/// per-column banded build costs `dimension` evaluations, so a chain of
+/// nearby solves that reuses one build amortizes its cost to near zero
+/// (stale chords that stop contracting are dropped and rebuilt, so reuse
+/// never compromises the converged residual).
+NewtonKrylovResult newton_krylov_fixed_point(
+    const OdeSystem& sys, State s0, const NewtonKrylovOptions& opts = {},
+    NewtonWorkspace* precond_reuse = nullptr);
+
+}  // namespace lsm::ode

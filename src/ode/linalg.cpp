@@ -42,6 +42,12 @@ std::vector<double> LuSolver::solve(std::vector<double> b) const {
   const std::size_t n = lu_.rows();
   LSM_EXPECT(b.size() == n, "rhs has wrong dimension");
   std::vector<double> x(n);
+  solve_into(b.data(), x.data());
+  return x;
+}
+
+void LuSolver::solve_into(const double* b, double* x) const {
+  const std::size_t n = lu_.rows();
   for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   // Forward substitution (unit lower triangle).
   for (std::size_t i = 1; i < n; ++i) {
@@ -55,7 +61,6 @@ std::vector<double> LuSolver::solve(std::vector<double> b) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
-  return x;
 }
 
 }  // namespace lsm::ode

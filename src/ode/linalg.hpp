@@ -41,6 +41,13 @@ class LuSolver {
   /// Solves A x = b.
   [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
 
+  /// Allocation-free solve for hot paths (the GMRES preconditioner applies
+  /// one of these per Krylov iteration): reads b, writes x, both length
+  /// size(); the two must not alias.
+  void solve_into(const double* b, double* x) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
  private:
   Matrix lu_;
   std::vector<std::size_t> perm_;

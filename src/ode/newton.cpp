@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "ode/banded.hpp"
 #include "ode/linalg.hpp"
 #include "util/error.hpp"
 
@@ -18,6 +19,8 @@ NewtonWorkspace& NewtonWorkspace::operator=(NewtonWorkspace&&) noexcept =
 void NewtonWorkspace::reset() {
   lu_.reset();
   dim_ = 0;
+  banded_.reset();
+  banded_dim_ = 0;
 }
 
 bool NewtonWorkspace::holds(std::size_t dim) const {
@@ -27,7 +30,107 @@ bool NewtonWorkspace::holds(std::size_t dim) const {
 struct NewtonWorkspaceAccess {
   static std::unique_ptr<LuSolver>& lu(NewtonWorkspace& ws) { return ws.lu_; }
   static std::size_t& dim(NewtonWorkspace& ws) { return ws.dim_; }
+  static std::unique_ptr<BandedLuSolver>& banded(NewtonWorkspace& ws) {
+    return ws.banded_;
+  }
+  static std::size_t& banded_dim(NewtonWorkspace& ws) {
+    return ws.banded_dim_;
+  }
 };
+
+namespace detail {
+
+std::unique_ptr<LuSolver> factor_fd_jacobian(const OdeSystem& sys,
+                                             const State& s, const State& f,
+                                             double fd_eps,
+                                             bool regularize_zero_rows) {
+  const std::size_t n = sys.dimension();
+  Matrix jac(n, n);
+  // Batched assembly: kLanes perturbed columns per RHS pass, SoA layout.
+  // Each lane reproduces the scalar arithmetic bit for bit and the counter
+  // charges nb per pass, so the factorization (and everything downstream,
+  // golden artifacts included) is independent of the path taken. A false
+  // return from the first block means the system has no batched kernel;
+  // nothing was written, so the scalar loop below starts clean.
+  constexpr std::size_t kLanes = 8;
+  bool batched = true;
+  {
+    std::vector<double> xb(n * std::min(kLanes, n));
+    std::vector<double> fb(n * std::min(kLanes, n));
+    double h_lane[kLanes];
+    for (std::size_t j0 = 0; j0 < n && batched; j0 += kLanes) {
+      const std::size_t nb = std::min(kLanes, n - j0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double base = s[i];
+        for (std::size_t l = 0; l < nb; ++l) xb[i * nb + l] = base;
+      }
+      for (std::size_t l = 0; l < nb; ++l) {
+        const std::size_t j = j0 + l;
+        const double h = fd_eps * std::max(1.0, std::abs(s[j]));
+        h_lane[l] = h;
+        xb[j * nb + l] = s[j] + h;
+      }
+      if (!sys.deriv_batch(0.0, nb, xb.data(), fb.data())) {
+        batched = false;
+        break;
+      }
+      for (std::size_t l = 0; l < nb; ++l) {
+        const double inv_h = 1.0 / h_lane[l];
+        for (std::size_t i = 0; i < n; ++i) {
+          jac(i, j0 + l) = (fb[i * nb + l] - f[i]) * inv_h;
+        }
+      }
+    }
+  }
+  if (!batched) {
+    State pert = s;
+    State f_pert(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h = fd_eps * std::max(1.0, std::abs(s[j]));
+      pert[j] = s[j] + h;
+      sys.deriv(0.0, pert, f_pert);
+      pert[j] = s[j];
+      const double inv_h = 1.0 / h;
+      for (std::size_t i = 0; i < n; ++i) {
+        jac(i, j) = (f_pert[i] - f[i]) * inv_h;
+      }
+    }
+  }
+  if (regularize_zero_rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double row_max = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row_max = std::max(row_max, std::abs(jac(i, j)));
+      }
+      if (row_max == 0.0) jac(i, i) = 1.0;
+    }
+  }
+  return std::make_unique<LuSolver>(std::move(jac));
+}
+
+LuSolver* cached_lu(NewtonWorkspace& ws, std::size_t dim) {
+  if (!ws.holds(dim)) return nullptr;
+  return NewtonWorkspaceAccess::lu(ws).get();
+}
+
+void cache_lu(NewtonWorkspace& ws, std::unique_ptr<LuSolver> lu,
+              std::size_t dim) {
+  NewtonWorkspaceAccess::lu(ws) = std::move(lu);
+  NewtonWorkspaceAccess::dim(ws) = dim;
+}
+
+BandedLuSolver* cached_banded(NewtonWorkspace& ws, std::size_t dim) {
+  if (NewtonWorkspaceAccess::banded_dim(ws) != dim) return nullptr;
+  return NewtonWorkspaceAccess::banded(ws).get();
+}
+
+void cache_banded(NewtonWorkspace& ws, std::unique_ptr<BandedLuSolver> lu,
+                  std::size_t dim) {
+  NewtonWorkspaceAccess::banded(ws) = std::move(lu);
+  NewtonWorkspaceAccess::banded_dim(ws) = dim;
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -36,21 +139,8 @@ namespace {
 /// util::Error on numerical singularity.
 std::unique_ptr<LuSolver> factor_jacobian(const OdeSystem& sys, const State& s,
                                           const State& f, double fd_eps,
-                                          State& f_pert) {
-  const std::size_t n = sys.dimension();
-  Matrix jac(n, n);
-  State pert = s;
-  for (std::size_t j = 0; j < n; ++j) {
-    const double h = fd_eps * std::max(1.0, std::abs(s[j]));
-    pert[j] = s[j] + h;
-    sys.deriv(0.0, pert, f_pert);
-    pert[j] = s[j];
-    const double inv_h = 1.0 / h;
-    for (std::size_t i = 0; i < n; ++i) {
-      jac(i, j) = (f_pert[i] - f[i]) * inv_h;
-    }
-  }
-  return std::make_unique<LuSolver>(std::move(jac));
+                                          State& /*f_pert*/) {
+  return detail::factor_fd_jacobian(sys, s, f, fd_eps);
 }
 
 /// The classic path: fresh Jacobian every iteration plus a backtracking

@@ -10,6 +10,7 @@
 
 namespace lsm::ode {
 
+class BandedLuSolver;
 class LuSolver;
 
 struct NewtonOptions {
@@ -49,16 +50,21 @@ class NewtonWorkspace {
   NewtonWorkspace(NewtonWorkspace&&) noexcept;
   NewtonWorkspace& operator=(NewtonWorkspace&&) noexcept;
 
-  /// Drops the cached factorization (e.g. when the chain jumps to an
+  /// Drops the cached factorizations (e.g. when the chain jumps to an
   /// unrelated model or the discretization changes shape).
   void reset();
-  /// A factorization of the given dimension is available for chord steps.
+  /// A dense factorization of the given dimension is available for chord
+  /// steps.
   [[nodiscard]] bool holds(std::size_t dim) const;
 
  private:
   friend struct NewtonWorkspaceAccess;  // implementation backdoor
   std::unique_ptr<LuSolver> lu_;
+  /// Banded chord cache for the Krylov path (large dimensions, where the
+  /// dense LU is unaffordable); cached and invalidated alongside lu_.
+  std::unique_ptr<BandedLuSolver> banded_;
   std::size_t dim_ = 0;
+  std::size_t banded_dim_ = 0;
 };
 
 /// Solves f(s) = 0 where f is sys.deriv at t = 0. On stagnation returns the
@@ -70,5 +76,35 @@ class NewtonWorkspace {
 NewtonResult newton_fixed_point(const OdeSystem& sys, State s0,
                                 const NewtonOptions& opts = {},
                                 NewtonWorkspace* reuse = nullptr);
+
+namespace detail {
+
+/// Builds and factors the dense forward-difference Jacobian of sys.deriv
+/// at `s` (residual `f` already evaluated there). Costs exactly
+/// `dimension` derivative evaluations — assembled through deriv_batch in
+/// blocks when the system provides it (bit-identical entries and eval
+/// count either way). Throws util::Error on numerical singularity. Shared
+/// by the Newton polish and the Krylov path's dense chord preconditioner.
+/// With regularize_zero_rows, identically-zero rows (e.g. the conserved
+/// ds_0/dt = 0 row of a raw mean-field derivative) get a unit diagonal
+/// before factoring — harmless for a preconditioner, since the residual
+/// component on such a row is identically zero anyway.
+std::unique_ptr<LuSolver> factor_fd_jacobian(const OdeSystem& sys,
+                                             const State& s, const State& f,
+                                             double fd_eps,
+                                             bool regularize_zero_rows = false);
+
+/// Chord-reuse accessors so krylov.cpp can share a NewtonWorkspace's cached
+/// dense or banded factorization (defined next to the friend access in
+/// newton.cpp).
+[[nodiscard]] LuSolver* cached_lu(NewtonWorkspace& ws, std::size_t dim);
+void cache_lu(NewtonWorkspace& ws, std::unique_ptr<LuSolver> lu,
+              std::size_t dim);
+[[nodiscard]] BandedLuSolver* cached_banded(NewtonWorkspace& ws,
+                                            std::size_t dim);
+void cache_banded(NewtonWorkspace& ws, std::unique_ptr<BandedLuSolver> lu,
+                  std::size_t dim);
+
+}  // namespace detail
 
 }  // namespace lsm::ode

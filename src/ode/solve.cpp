@@ -136,16 +136,52 @@ FixedPointSolveResult run_stiff(const OdeSystem& sys, State s0,
 
 FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
                                    const FixedPointSolveOptions& opts);
+FixedPointSolveResult run_krylov(const OdeSystem& sys, State s0,
+                                 const FixedPointSolveOptions& opts);
 
-/// Discards a warm attempt and re-runs the Anderson path cold from
-/// opts.cold_start. Recursion is bounded: the nested options clear
-/// cold_start, so the re-run is an ordinary cold solve.
+/// Discards a warm attempt and re-runs the calling path cold from
+/// opts.cold_start (the Krylov runner must come back as Krylov: its cold
+/// behaviour, not Anderson's, is the contract warm rejection restores).
+/// Recursion is bounded: the nested options clear cold_start, so the
+/// re-run is an ordinary cold solve.
 FixedPointSolveResult rerun_cold(const OdeSystem& sys,
-                                 const FixedPointSolveOptions& opts) {
+                                 const FixedPointSolveOptions& opts,
+                                 bool krylov) {
   FixedPointSolveOptions copts = opts;
   State cold = std::move(copts.cold_start);
   copts.cold_start = State{};
-  return run_anderson(sys, std::move(cold), copts);
+  return krylov ? run_krylov(sys, std::move(cold), copts)
+                : run_anderson(sys, std::move(cold), copts);
+}
+
+/// Shared out-of-budget exit: hand back the best iterate marked
+/// BudgetExhausted, or throw the SolverBudget failure.
+FixedPointSolveResult budget_exhausted_result(
+    const FixedPointSolveOptions& opts, State state, double residual,
+    FixedPointMethod method, std::size_t rhs_evals, std::size_t iterations,
+    bool warm_rejected) {
+  FixedPointSolveResult out;
+  out.state = std::move(state);
+  out.residual = residual;
+  out.method = method;
+  out.rhs_evals = rhs_evals;
+  out.iterations = iterations;
+  out.fellback = true;
+  out.warm_rejected = warm_rejected;
+  out.status = SolveStatus::BudgetExhausted;
+  out.failure =
+      "solve_fixed_point: budget exhausted before convergence" +
+      (opts.label.empty() ? std::string() : " [" + opts.label + "]") +
+      ": residual=" + std::to_string(out.residual) +
+      " rhs_evals=" + std::to_string(out.rhs_evals);
+  if (opts.throw_on_failure) {
+    util::Failure f;
+    f.kind = util::FailureKind::SolverBudget;
+    f.message = out.failure;
+    f.context = opts.label;
+    throw util::FailureError(std::move(f));
+  }
+  return out;
 }
 
 FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
@@ -164,28 +200,11 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
   // Anderson's best iterate marked BudgetExhausted (or throw).
   auto budget_failure = [&opts](AndersonResult&& aa, std::size_t extra,
                                 bool warm_rejected) -> FixedPointSolveResult {
-    FixedPointSolveResult out;
-    out.state = std::move(aa.state);
-    out.residual = aa.residual_norm;
-    out.method = FixedPointMethod::Anderson;
-    out.rhs_evals = aa.rhs_evals + extra;
-    out.iterations = aa.iterations;
-    out.fellback = true;
-    out.warm_rejected = warm_rejected;
-    out.status = SolveStatus::BudgetExhausted;
-    out.failure =
-        "solve_fixed_point: budget exhausted before convergence" +
-        (opts.label.empty() ? std::string() : " [" + opts.label + "]") +
-        ": residual=" + std::to_string(out.residual) +
-        " rhs_evals=" + std::to_string(out.rhs_evals);
-    if (opts.throw_on_failure) {
-      util::Failure f;
-      f.kind = util::FailureKind::SolverBudget;
-      f.message = out.failure;
-      f.context = opts.label;
-      throw util::FailureError(std::move(f));
-    }
-    return out;
+    return budget_exhausted_result(opts, std::move(aa.state),
+                                   aa.residual_norm,
+                                   FixedPointMethod::Anderson,
+                                   aa.rhs_evals + extra, aa.iterations,
+                                   warm_rejected);
   };
   // Keep the caller's start around: if acceleration fails we relax from
   // THERE, not from Anderson's best iterate. Truncated systems can be
@@ -205,7 +224,7 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
       }
       FixedPointSolveOptions copts = opts;
       budget.carry_into(copts, aa.rhs_evals + probe_evals);
-      FixedPointSolveResult out = rerun_cold(sys, copts);
+      FixedPointSolveResult out = rerun_cold(sys, copts, /*krylov=*/false);
       out.rhs_evals += aa.rhs_evals + probe_evals;
       out.warm_rejected = true;
       return out;
@@ -227,7 +246,7 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
     }
     FixedPointSolveOptions copts = opts;
     budget.carry_into(copts, aa.rhs_evals);
-    FixedPointSolveResult out = rerun_cold(sys, copts);
+    FixedPointSolveResult out = rerun_cold(sys, copts, /*krylov=*/false);
     out.rhs_evals += aa.rhs_evals;
     out.warm_rejected = true;
     return out;
@@ -257,6 +276,98 @@ FixedPointSolveResult run_anderson(const OdeSystem& sys, State s0,
   return out;
 }
 
+/// The large-system path: a cheap Anderson warmup into the Newton basin,
+/// then matrix-free Newton-GMRES for the remaining digits. Mirrors
+/// run_anderson's warm/cold/fallback/budget ladder so callers see the same
+/// contract whichever path Auto picks.
+FixedPointSolveResult run_krylov(const OdeSystem& sys, State s0,
+                                 const FixedPointSolveOptions& opts) {
+  const Budget budget(opts);
+  const bool warm = !opts.cold_start.empty();
+  State start;
+  if (opts.relax_fallback || warm) start = s0;
+
+  AndersonOptions aopts = opts.anderson;
+  aopts.tol = std::max(opts.tol, opts.krylov_warmup_tol);
+  if (opts.max_rhs_evals != 0) {
+    aopts.max_iter =
+        std::min(aopts.max_iter, std::max<std::size_t>(opts.max_rhs_evals, 2));
+  }
+  // Newton starts from the warmup's best iterate whether or not the warmup
+  // "converged": its line search judges the iterate on the true residual.
+  AndersonResult aa = anderson_fixed_point(sys, std::move(s0), aopts);
+
+  NewtonKrylovOptions kopts = opts.krylov;
+  kopts.tol = opts.tol;
+  if (budget.max_evals != 0) {
+    kopts.max_rhs_evals =
+        budget.max_evals > aa.rhs_evals ? budget.max_evals - aa.rhs_evals : 1;
+  }
+  if (budget.max_seconds > 0.0) {
+    kopts.max_wall_seconds = std::max(budget.max_seconds - budget.elapsed(),
+                                      1e-9);
+  }
+  NewtonKrylovResult nk =
+      newton_krylov_fixed_point(sys, std::move(aa.state), kopts);
+  const std::size_t spent = aa.rhs_evals + nk.rhs_evals;
+  const std::size_t iters = aa.iterations + nk.iterations;
+
+  if (nk.converged) {
+    std::size_t probe_evals = 0;
+    if (warm && basin_escaped(sys, start, nk.state, opts, probe_evals)) {
+      if (budget.exhausted(spent + probe_evals)) {
+        return budget_exhausted_result(opts, std::move(nk.state),
+                                       nk.residual_norm,
+                                       FixedPointMethod::Krylov,
+                                       spent + probe_evals, iters, true);
+      }
+      FixedPointSolveOptions copts = opts;
+      budget.carry_into(copts, spent + probe_evals);
+      FixedPointSolveResult out = rerun_cold(sys, copts, /*krylov=*/true);
+      out.rhs_evals += spent + probe_evals;
+      out.warm_rejected = true;
+      return out;
+    }
+    FixedPointSolveResult out;
+    out.state = std::move(nk.state);
+    out.residual = nk.residual_norm;
+    out.method = FixedPointMethod::Krylov;
+    out.rhs_evals = spent + probe_evals;
+    out.iterations = iters;
+    return out;
+  }
+  if (nk.budget_exhausted || budget.exhausted(spent)) {
+    return budget_exhausted_result(opts, std::move(nk.state),
+                                   nk.residual_norm, FixedPointMethod::Krylov,
+                                   spent, iters, false);
+  }
+  if (warm) {
+    FixedPointSolveOptions copts = opts;
+    budget.carry_into(copts, spent);
+    FixedPointSolveResult out = rerun_cold(sys, copts, /*krylov=*/true);
+    out.rhs_evals += spent;
+    out.warm_rejected = true;
+    return out;
+  }
+  if (!opts.relax_fallback) {
+    FixedPointSolveResult out;
+    out.state = std::move(nk.state);
+    out.residual = nk.residual_norm;
+    out.method = FixedPointMethod::Krylov;
+    out.rhs_evals = spent;
+    out.iterations = iters;
+    out.fellback = true;
+    return out;
+  }
+  FixedPointSolveOptions fopts = opts;
+  budget.carry_into(fopts, spent);
+  FixedPointSolveResult out = run_relax(sys, std::move(start), fopts);
+  out.rhs_evals += spent;
+  out.iterations = iters;
+  out.fellback = true;
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(SolveStatus status) noexcept {
@@ -268,23 +379,37 @@ const char* to_string(SolveStatus status) noexcept {
   return "?";
 }
 
+const std::vector<std::string>& fixed_point_method_names() {
+  // Declaration order of FixedPointMethod; parse/to_string/CLI listings all
+  // index this one list.
+  static const std::vector<std::string> names = {"auto", "relax", "stiff",
+                                                 "anderson", "krylov"};
+  return names;
+}
+
 const char* to_string(FixedPointMethod method) noexcept {
   switch (method) {
     case FixedPointMethod::Auto: return "auto";
     case FixedPointMethod::Relax: return "relax";
     case FixedPointMethod::Stiff: return "stiff";
     case FixedPointMethod::Anderson: return "anderson";
+    case FixedPointMethod::Krylov: return "krylov";
   }
   return "?";
 }
 
 FixedPointMethod parse_fixed_point_method(const std::string& name) {
-  if (name == "auto") return FixedPointMethod::Auto;
-  if (name == "relax") return FixedPointMethod::Relax;
-  if (name == "stiff") return FixedPointMethod::Stiff;
-  if (name == "anderson") return FixedPointMethod::Anderson;
-  throw util::Error("unknown fixed-point method '" + name +
-                    "' (expected auto|relax|stiff|anderson)");
+  const auto& names = fixed_point_method_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (name == names[i]) return static_cast<FixedPointMethod>(i);
+  }
+  std::string expected;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) expected += '|';
+    expected += names[i];
+  }
+  throw util::Error("unknown fixed-point method '" + name + "' (expected " +
+                    expected + ")");
 }
 
 FixedPointSolveResult solve_fixed_point(const OdeSystem& sys, State s0,
@@ -298,11 +423,16 @@ FixedPointSolveResult solve_fixed_point(const OdeSystem& sys, State s0,
       return run_stiff(sys, std::move(s0), opts);
     case FixedPointMethod::Anderson:
       return run_anderson(sys, std::move(s0), opts);
+    case FixedPointMethod::Krylov:
+      return run_krylov(sys, std::move(s0), opts);
     case FixedPointMethod::Auto:
       break;
   }
-  return opts.stiff_bandwidth > 0 ? run_stiff(sys, std::move(s0), opts)
-                                  : run_anderson(sys, std::move(s0), opts);
+  if (opts.stiff_bandwidth > 0) return run_stiff(sys, std::move(s0), opts);
+  if (opts.krylov_auto_dim != 0 && sys.dimension() >= opts.krylov_auto_dim) {
+    return run_krylov(sys, std::move(s0), opts);
+  }
+  return run_anderson(sys, std::move(s0), opts);
 }
 
 }  // namespace lsm::ode

@@ -7,6 +7,9 @@
 // Dispatch rules (FixedPointMethod::Auto):
 //   * stiff_bandwidth > 0  -> Stiff (banded pseudo-transient continuation;
 //     explicit methods would need O(1/bandwidth) steps);
+//   * dimension >= krylov_auto_dim -> Krylov (Anderson warmup + matrix-free
+//     Newton-GMRES; at 10^4 unknowns Anderson's deep near-critical stall
+//     and any dense-Jacobian polish are both unaffordable);
 //   * otherwise            -> Anderson, falling back to Relax from the
 //     caller's original start when acceleration fails to converge (NOT from
 //     Anderson's best iterate: truncated systems can be bistable, and the
@@ -14,9 +17,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ode/anderson.hpp"
 #include "ode/implicit.hpp"
+#include "ode/krylov.hpp"
 #include "ode/status.hpp"
 #include "ode/steady_state.hpp"
 #include "ode/system.hpp"
@@ -24,16 +29,23 @@
 namespace lsm::ode {
 
 enum class FixedPointMethod {
-  Auto,      ///< stiff when a bandwidth hint is given, else Anderson+fallback
+  Auto,      ///< stiff with a bandwidth hint, krylov when huge, else Anderson
   Relax,     ///< explicit time relaxation only (the pre-engine behaviour)
   Stiff,     ///< banded pseudo-transient continuation
   Anderson,  ///< Anderson acceleration with relaxation fallback
+  Krylov,    ///< Anderson warmup + matrix-free Newton-GMRES finish
 };
 
-/// Short lowercase name ("auto" | "relax" | "stiff" | "anderson").
+/// Every parseable method name, in declaration order. The single source of
+/// truth shared by to_string, parse_fixed_point_method and CLI solver
+/// listings, so a new method cannot silently miss one of them.
+[[nodiscard]] const std::vector<std::string>& fixed_point_method_names();
+
+/// Short lowercase name ("auto" | "relax" | "stiff" | "anderson" | "krylov").
 [[nodiscard]] const char* to_string(FixedPointMethod method) noexcept;
 
-/// Inverse of to_string; throws util::Error on an unknown name.
+/// Inverse of to_string; throws util::Error on an unknown name (the message
+/// enumerates fixed_point_method_names()).
 [[nodiscard]] FixedPointMethod parse_fixed_point_method(
     const std::string& name);
 
@@ -64,6 +76,23 @@ struct FixedPointSolveOptions {
   bool relax_fallback = true;
   SteadyStateOptions relax{};
   StiffRelaxOptions stiff{};
+  /// Newton-Krylov finisher settings for the Krylov path (tol and budgets
+  /// are overwritten from the fields above).
+  NewtonKrylovOptions krylov{};
+  /// Auto routes systems of at least this dimension to the Krylov path
+  /// (0 disables the size-based routing). The default sits above every
+  /// auto-sized discretization the existing grids produce (the largest is
+  /// the two-segment transfer model near lambda = 0.98, dimension ~2.6k),
+  /// so tracked solves keep their Anderson trajectories byte for byte,
+  /// while the 10^4-dim near-critical studies pick up the matrix-free
+  /// path.
+  std::size_t krylov_auto_dim = 4096;
+  /// Anderson warmup target of the Krylov path: acceleration stops at
+  /// max(tol, this) and Newton-GMRES finishes the remaining digits. The
+  /// warmup only has to reach the Newton basin — pushing AA deeper wastes
+  /// its worst (stall-prone) regime, stopping far earlier hands Newton an
+  /// iterate its line search cannot yet work with.
+  double krylov_warmup_tol = 1e-6;
   /// Continuation safeguard. When s0 is a warm start carried over from a
   /// neighbouring solve (a λ-sweep threading the previous fixed point
   /// forward), set cold_start to the canonical cold start for this system

@@ -15,6 +15,22 @@ class OdeSystem {
   /// Writes f(t, s) into ds; ds is pre-sized to dimension().
   virtual void deriv(double t, const State& s, State& ds) const = 0;
 
+  /// Batched evaluation of `nb` states in component-major (structure-of-
+  /// arrays) layout: x[i * nb + l] holds component i of lane l, dx likewise.
+  /// Implementations must be bit-identical to nb scalar deriv() calls (same
+  /// per-lane operation order) so finite-difference Jacobians and golden
+  /// artifacts built on top do not depend on the path taken. Returns false
+  /// when no batched kernel exists — x/dx untouched, callers fall back to
+  /// per-lane deriv().
+  [[nodiscard]] virtual bool deriv_batch(double t, std::size_t nb,
+                                         const double* x, double* dx) const {
+    (void)t;
+    (void)nb;
+    (void)x;
+    (void)dx;
+    return false;
+  }
+
   [[nodiscard]] virtual std::size_t dimension() const = 0;
 
   /// Projects s back onto the feasible set (e.g. clamp to [0,1], restore
@@ -34,6 +50,14 @@ class CountingSystem final : public OdeSystem {
   void deriv(double t, const State& s, State& ds) const override {
     ++count_;
     inner_.deriv(t, s, ds);
+  }
+  [[nodiscard]] bool deriv_batch(double t, std::size_t nb, const double* x,
+                                 double* dx) const override {
+    // One batched pass does the work of nb scalar evaluations, and the
+    // counter is the cost model perf_ode tracks — count it as such.
+    if (!inner_.deriv_batch(t, nb, x, dx)) return false;
+    count_ += nb;
+    return true;
   }
   [[nodiscard]] std::size_t dimension() const override {
     return inner_.dimension();

@@ -199,8 +199,14 @@ TEST(EngineDispatch, ExplicitRelaxRequestIsHonoured) {
 TEST(EngineDispatch, MethodNamesRoundTrip) {
   for (const auto method :
        {ode::FixedPointMethod::Auto, ode::FixedPointMethod::Relax,
-        ode::FixedPointMethod::Stiff, ode::FixedPointMethod::Anderson}) {
+        ode::FixedPointMethod::Stiff, ode::FixedPointMethod::Anderson,
+        ode::FixedPointMethod::Krylov}) {
     EXPECT_EQ(ode::parse_fixed_point_method(ode::to_string(method)), method);
+  }
+  // The published name list is the same source of truth parse/to_string
+  // use, so every listed name must round-trip as well.
+  for (const auto& name : ode::fixed_point_method_names()) {
+    EXPECT_EQ(ode::to_string(ode::parse_fixed_point_method(name)), name);
   }
   EXPECT_THROW(ode::parse_fixed_point_method("newton"), util::Error);
 }

@@ -8,13 +8,17 @@
 // gtest's own bookkeeping outside those windows cannot interfere.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
+#include "core/batch.hpp"
 #include "core/threshold_ws.hpp"
 #include "ode/anderson.hpp"
 #include "ode/integrator.hpp"
+#include "ode/krylov.hpp"
 #include "ode/steppers.hpp"
 
 namespace {
@@ -94,6 +98,70 @@ TEST(HotLoopAlloc, AndersonAllocationsIndependentOfIterationCount) {
   EXPECT_GT(long_run.iterations, 10 * short_run.iterations);
   EXPECT_EQ(long_allocs, short_allocs)
       << "per-iteration heap traffic in the Anderson loop";
+}
+
+TEST(HotLoopAlloc, GmresIterationsAllocationFree) {
+  // The GmresWorkspace owns every buffer the Krylov iteration touches;
+  // after the first (sizing) solve, repeated solves of the same shape must
+  // not allocate, no matter how many Arnoldi steps or restarts they take.
+  const std::size_t n = 64;
+  class Tridiag final : public ode::LinearOperator {
+   public:
+    explicit Tridiag(std::size_t n) : n_(n) {}
+    void apply(const double* x, double* y) const override {
+      for (std::size_t i = 0; i < n_; ++i) {
+        double acc = 4.0 * x[i];
+        if (i > 0) acc -= x[i - 1];
+        if (i + 1 < n_) acc -= x[i + 1];
+        y[i] = acc;
+      }
+    }
+    [[nodiscard]] std::size_t size() const override { return n_; }
+
+   private:
+    std::size_t n_;
+  };
+  const Tridiag op(n);
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  ode::GmresOptions gopts;
+  gopts.restart = 10;  // forces restart cycles: the restart path too
+  gopts.tol = 1e-12;
+  ode::GmresWorkspace ws;
+  auto warmup = gmres(op, b.data(), x.data(), gopts, ws);
+  ASSERT_TRUE(warmup.converged);
+
+  const std::size_t warm = allocations();
+  for (int rep = 0; rep < 3; ++rep) {
+    std::fill(x.begin(), x.end(), 0.0);
+    auto r = gmres(op, b.data(), x.data(), gopts, ws);
+    ASSERT_TRUE(r.converged);
+  }
+  EXPECT_EQ(allocations(), warm)
+      << "warm GMRES solves must reuse the workspace buffers";
+}
+
+TEST(HotLoopAlloc, BatchedRhsEvaluatorAllocationFree) {
+  // All evaluator scratch is sized in the constructor; steady-state eval()
+  // calls (batched kernel AND per-lane arithmetic) stay off the heap.
+  core::SimpleWS lane_a(0.85, 96), lane_b(0.9, 96);
+  core::RhsBatchEvaluator eval({&lane_a, &lane_b});
+  const std::size_t dim = eval.dimension();
+  std::vector<double> x(dim * 2, 0.0), dx(dim * 2);
+  x[0] = x[1] = 1.0;
+  for (std::size_t i = 1; i < dim; ++i) {
+    x[i * 2] = x[(i - 1) * 2] * 0.8;
+    x[i * 2 + 1] = x[(i - 1) * 2 + 1] * 0.85;
+  }
+  eval.eval(x.data(), dx.data(), /*root=*/false);  // warm any lazy paths
+
+  const std::size_t warm = allocations();
+  for (int rep = 0; rep < 4; ++rep) {
+    eval.eval(x.data(), dx.data(), /*root=*/false);
+    eval.eval(x.data(), dx.data(), /*root=*/true);
+  }
+  EXPECT_EQ(allocations(), warm)
+      << "steady-state batched RHS evaluation must not touch the heap";
+  EXPECT_GT(eval.batch_passes(), 0U);
 }
 
 }  // namespace

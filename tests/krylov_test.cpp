@@ -1,0 +1,422 @@
+// Matrix-free Newton-Krylov acceptance tests: GMRES against dense LU on
+// banded systems (including singular/stagnating ones), the directional
+// finite-difference J.v against the analytic simple-WS Jacobian, parity of
+// the Krylov-polished fixed points with the dense-Newton engine across the
+// registry, the Auto routing of 10^3.5+-dimensional systems, and the
+// batched RHS kernels (bit-equality with the scalar path, per-lane
+// arrival rates, the scalar fallback, and the batched lambda sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/fixed_point.hpp"
+#include "core/registry.hpp"
+#include "core/threshold_ws.hpp"
+#include "ode/krylov.hpp"
+#include "ode/linalg.hpp"
+#include "ode/solve.hpp"
+
+namespace {
+
+using namespace lsm;
+
+// --- GMRES vs dense LU ---------------------------------------------------
+
+/// Dense y = A x over an ode::Matrix, for feeding synthetic systems to
+/// gmres().
+class MatrixOperator final : public ode::LinearOperator {
+ public:
+  explicit MatrixOperator(const ode::Matrix& a) : a_(a) {}
+  void apply(const double* x, double* y) const override {
+    const std::size_t n = a_.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += a_(i, j) * x[j];
+      y[i] = acc;
+    }
+  }
+  [[nodiscard]] std::size_t size() const override { return a_.rows(); }
+
+ private:
+  const ode::Matrix& a_;
+};
+
+/// Deterministic uniform(-1, 1) stream so the "random" systems are
+/// identical on every run and platform.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  double next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state_ >> 11) /
+               static_cast<double>(1ULL << 53) * 2.0 -
+           1.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Diagonally dominant banded matrix: random off-band entries within the
+/// bandwidth, a dominant diagonal so the LU reference is well conditioned.
+ode::Matrix random_banded(std::size_t n, std::size_t bw, Lcg& rng) {
+  ode::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t lo = i > bw ? i - bw : 0;
+      if (j < lo || j > i + bw || j == i) continue;
+      a(i, j) = rng.next();
+      row_sum += std::abs(a(i, j));
+    }
+    a(i, i) = row_sum + 1.0 + std::abs(rng.next());
+  }
+  return a;
+}
+
+TEST(Gmres, MatchesDenseLuOnRandomBandedSystems) {
+  Lcg rng(42);
+  for (const std::size_t n : {8UL, 33UL, 64UL}) {
+    const ode::Matrix a = random_banded(n, 3, rng);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.next();
+
+    const ode::LuSolver lu(a);
+    const std::vector<double> x_ref = lu.solve(b);
+
+    const MatrixOperator op(a);
+    std::vector<double> x(n, 0.0);
+    ode::GmresOptions gopts;
+    gopts.tol = 1e-12;
+    ode::GmresWorkspace ws;
+    const ode::GmresResult r = gmres(op, b.data(), x.data(), gopts, ws);
+
+    EXPECT_TRUE(r.converged) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_ref[i], 1e-8) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Gmres, RestartCyclesReachTheLuSolution) {
+  // restart = 6 on a 48-dim system forces several Arnoldi cycles; the
+  // restarted iteration must still land on the direct solution.
+  Lcg rng(7);
+  const std::size_t n = 48;
+  const ode::Matrix a = random_banded(n, 2, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.next();
+  const std::vector<double> x_ref = ode::LuSolver(a).solve(b);
+
+  const MatrixOperator op(a);
+  std::vector<double> x(n, 0.0);
+  ode::GmresOptions gopts;
+  gopts.restart = 6;
+  gopts.tol = 1e-11;
+  ode::GmresWorkspace ws;
+  const ode::GmresResult r = gmres(op, b.data(), x.data(), gopts, ws);
+
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.restarts, 1U);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-7);
+}
+
+TEST(Gmres, RightPreconditionerPreservesTheTrueResidual) {
+  // Preconditioning with A's own LU must converge essentially immediately
+  // AND return the solution in the original variables (right
+  // preconditioning never changes what "residual" means).
+  Lcg rng(11);
+  const std::size_t n = 40;
+  const ode::Matrix a = random_banded(n, 3, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.next();
+  const ode::LuSolver lu(a);
+  const std::vector<double> x_ref = lu.solve(b);
+
+  class LuOp final : public ode::LinearOperator {
+   public:
+    explicit LuOp(const ode::LuSolver& lu) : lu_(lu) {}
+    void apply(const double* x, double* y) const override {
+      lu_.solve_into(x, y);
+    }
+    [[nodiscard]] std::size_t size() const override { return lu_.size(); }
+
+   private:
+    const ode::LuSolver& lu_;
+  };
+
+  const MatrixOperator op(a);
+  const LuOp pc(lu);
+  std::vector<double> x(n, 0.0);
+  ode::GmresOptions gopts;
+  gopts.tol = 1e-12;
+  ode::GmresWorkspace ws;
+  const ode::GmresResult r = gmres(op, b.data(), x.data(), gopts, ws, &pc);
+
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 3U) << "perfect preconditioner should be ~1 step";
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-8);
+}
+
+TEST(Gmres, SingularSystemStagnatesInsteadOfThrowing) {
+  // Rank-deficient A with b outside the range: no solution exists. The
+  // solve must report failure (stagnation), never throw or spin forever.
+  const std::size_t n = 12;
+  ode::Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i) = 1.0;  // last row zero
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;  // unreachable component
+
+  const MatrixOperator op(a);
+  std::vector<double> x(n, 0.0);
+  ode::GmresOptions gopts;
+  gopts.tol = 1e-12;
+  gopts.max_iters = 100;
+  ode::GmresWorkspace ws;
+  const ode::GmresResult r = gmres(op, b.data(), x.data(), gopts, ws);
+
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.stagnated || r.iterations >= gopts.max_iters);
+}
+
+// --- Directional-difference J.v vs the analytic simple-WS Jacobian -------
+
+/// Analytic Jacobian of the simple-WS (threshold T = 2) right-hand side
+///   ds_1 = l(s_0 - s_1) - (s_1 - s_2)(1 - s_2)
+///   ds_i = l(s_{i-1} - s_i) - (s_i - s_next)(1 + s_1 - s_2),  i >= 2
+/// (row 0 is identically zero; s_next = 0 at the truncation edge).
+ode::Matrix simple_ws_jacobian(const core::SimpleWS& model,
+                               const ode::State& s) {
+  const std::size_t L = model.truncation();
+  const double l = model.lambda();
+  ode::Matrix j(L + 1, L + 1);
+  j(1, 0) = l;
+  j(1, 1) = -l - (1.0 - s[2]);
+  j(1, 2) = (1.0 - s[2]) + (s[1] - s[2]);
+  const double steal = s[1] - s[2];
+  for (std::size_t i = 2; i <= L; ++i) {
+    const double s_next = (i < L) ? s[i + 1] : 0.0;
+    const double w = s[i] - s_next;
+    j(i, i - 1) += l;
+    j(i, i) += -l - (1.0 + steal);
+    if (i < L) j(i, i + 1) += 1.0 + steal;
+    j(i, 1) += -w;
+    j(i, 2) += w;
+  }
+  return j;
+}
+
+TEST(JacobianOperator, DirectionalDifferenceMatchesAnalyticJacobian) {
+  core::SimpleWS model(0.9, 24);
+  const std::size_t n = model.dimension();
+
+  // A smooth interior point (not the fixed point, so J.v is nontrivial).
+  ode::State s(n);
+  s[0] = 1.0;
+  for (std::size_t i = 1; i < n; ++i) s[i] = 0.8 * s[i - 1];
+  ode::State f(n);
+  model.deriv(0.0, s, f);
+
+  ode::JacobianOperator jac(model);
+  jac.rebase(s, f);
+  const ode::Matrix j = simple_ws_jacobian(model, s);
+
+  Lcg rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<double> v(n), jv(n);
+    for (auto& c : v) c = rng.next();
+    jac.apply(v.data(), jv.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      double exact = 0.0;
+      for (std::size_t k = 0; k < n; ++k) exact += j(i, k) * v[k];
+      // One-sided difference of a quadratic RHS: error is O(h) with
+      // h ~ fd_eps, so 1e-5 absolute has two orders of headroom.
+      EXPECT_NEAR(jv[i], exact, 1e-5) << "trial=" << trial << " row=" << i;
+    }
+  }
+}
+
+// --- Krylov-vs-dense-Newton parity across the registry -------------------
+
+class KrylovParity
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(KrylovParity, SojournMatchesDenseNewtonEngine) {
+  const auto [name, lambda] = GetParam();
+
+  const auto dense_model = core::make_model(name, lambda);
+  const auto dense = core::solve_fixed_point(*dense_model);
+
+  const auto krylov_model = core::make_model(name, lambda);
+  core::FixedPointOptions kopts;
+  kopts.method = ode::FixedPointMethod::Krylov;
+  kopts.newton_max_dim = 4;  // force the matrix-free polish at any size
+  const auto krylov = core::solve_fixed_point(*krylov_model, kopts);
+
+  EXPECT_LE(krylov.residual, 1e-10);
+  EXPECT_NEAR(krylov_model->mean_sojourn(krylov.state),
+              dense_model->mean_sojourn(dense.state), 1e-9)
+      << name << " lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegistryTimesLambda, KrylovParity,
+    ::testing::Combine(::testing::Values("simple", "threshold", "multi-choice",
+                                         "multi-steal", "transfer", "sharing"),
+                       ::testing::Values(0.7, 0.95)));
+
+TEST(KrylovDispatch, AutoRoutesLargeNearCriticalSystemsToKrylov) {
+  // Dimensions at or above krylov_auto_dim go matrix-free under Auto; the
+  // no-stealing model doubles as an accuracy pin (M/M/1: E[T] = 1/(1-l)).
+  const auto model = core::make_model("no-stealing", 0.99, {{"L", 4999}});
+  ASSERT_GE(model->dimension(), ode::FixedPointSolveOptions{}.krylov_auto_dim);
+  const auto fp = core::solve_fixed_point(*model);
+  EXPECT_EQ(fp.method, ode::FixedPointMethod::Krylov);
+  EXPECT_LE(fp.residual, 1e-10);
+  EXPECT_NEAR(model->mean_sojourn(fp.state), 100.0, 1e-3);
+}
+
+TEST(KrylovDispatch, PolishSkipIsRecordedNotSilent) {
+  const auto model = core::make_model("no-stealing", 0.9, {{"L", 1999}});
+  core::FixedPointOptions opts;
+  opts.truncation = core::TruncationMode::Fixed;
+  ASSERT_GT(model->dimension(), opts.newton_max_dim);
+
+  opts.krylov_polish = false;
+  const auto skipped = core::solve_fixed_point(*model, opts);
+  EXPECT_TRUE(skipped.polish_skipped);
+  EXPECT_FALSE(skipped.polished);
+
+  opts.krylov_polish = true;
+  const auto polished = core::solve_fixed_point(*model, opts);
+  EXPECT_FALSE(polished.polish_skipped);
+  EXPECT_LE(polished.residual, 1e-10);
+}
+
+// --- Batched RHS kernels -------------------------------------------------
+
+/// The six sweep models with batched kernels; explicit L pins a shared
+/// discretization across lanes.
+std::vector<std::unique_ptr<core::MeanFieldModel>> batched_lanes(
+    const std::string& name, const std::vector<double>& lambdas) {
+  std::vector<std::unique_ptr<core::MeanFieldModel>> lanes;
+  std::size_t trunc = 0;
+  for (const double lam : lambdas) {
+    lanes.push_back(core::make_model(name, lam));
+    trunc = std::max(trunc, lanes.back()->truncation());
+  }
+  for (auto& m : lanes) m->set_truncation(trunc);
+  return lanes;
+}
+
+TEST(BatchedRhs, BitEqualToScalarKernelWithPerLaneLambdas) {
+  const std::vector<double> lambdas = {0.5, 0.7, 0.8, 0.9};
+  const std::size_t nb = lambdas.size();
+  for (const char* name : {"simple", "threshold", "multi-choice",
+                           "multi-steal", "transfer", "sharing"}) {
+    auto lanes = batched_lanes(name, lambdas);
+    const std::size_t dim = lanes[0]->dimension();
+
+    // Distinct smooth state per lane so a lane mix-up cannot cancel out.
+    std::vector<double> x(dim * nb), dx(dim * nb);
+    ode::State lane_s(dim), lane_f(dim), batch_f(dim);
+    for (std::size_t l = 0; l < nb; ++l) {
+      const double decay = 0.6 + 0.08 * static_cast<double>(l);
+      x[0 * nb + l] = 1.0;
+      for (std::size_t i = 1; i < dim; ++i) {
+        x[i * nb + l] = x[(i - 1) * nb + l] * decay;
+      }
+    }
+
+    ASSERT_TRUE(lanes[0]->rhs_batch(nb, lambdas.data(), x.data(), dx.data()))
+        << name << " advertises no batched kernel";
+    for (std::size_t l = 0; l < nb; ++l) {
+      for (std::size_t i = 0; i < dim; ++i) lane_s[i] = x[i * nb + l];
+      lanes[l]->deriv(0.0, lane_s, lane_f);
+      for (std::size_t i = 0; i < dim; ++i) {
+        // Bit equality: the batched lanes promise the scalar arithmetic
+        // operation for operation, so solver trajectories are identical
+        // whichever path runs.
+        EXPECT_EQ(dx[i * nb + l], lane_f[i])
+            << name << " lane=" << l << " i=" << i;
+      }
+    }
+
+    // Same contract for the root-residual form the Newton phases consume.
+    core::RhsBatchEvaluator eval_root(
+        [&] {
+          std::vector<const core::MeanFieldModel*> ptrs;
+          for (const auto& m : lanes) ptrs.push_back(m.get());
+          return ptrs;
+        }());
+    eval_root.eval(x.data(), dx.data(), /*root=*/true);
+    for (std::size_t l = 0; l < nb; ++l) {
+      for (std::size_t i = 0; i < dim; ++i) lane_s[i] = x[i * nb + l];
+      lanes[l]->root_residual(lane_s, lane_f);
+      for (std::size_t i = 0; i < dim; ++i) {
+        EXPECT_EQ(dx[i * nb + l], lane_f[i])
+            << name << " root lane=" << l << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchedRhs, EvaluatorFallsBackLaneByLaneWithoutBatchedKernel) {
+  // The rebalance model has no batched kernel; the evaluator must produce
+  // the per-lane scalar results (at each lane's own lambda) anyway and
+  // count zero batch passes.
+  const std::vector<double> lambdas = {0.6, 0.85};
+  auto lanes = batched_lanes("rebalance", lambdas);
+  const std::size_t nb = lanes.size();
+  const std::size_t dim = lanes[0]->dimension();
+
+  std::vector<double> x(dim * nb), dx(dim * nb);
+  for (std::size_t l = 0; l < nb; ++l) {
+    x[0 * nb + l] = 1.0;
+    for (std::size_t i = 1; i < dim; ++i) {
+      x[i * nb + l] = x[(i - 1) * nb + l] * 0.7;
+    }
+  }
+
+  std::vector<const core::MeanFieldModel*> ptrs;
+  for (const auto& m : lanes) ptrs.push_back(m.get());
+  core::RhsBatchEvaluator eval(ptrs);
+  eval.eval(x.data(), dx.data(), /*root=*/false);
+
+  EXPECT_EQ(eval.batch_passes(), 0U);
+  EXPECT_EQ(eval.rhs_evals(), nb);
+  ode::State lane_s(dim), lane_f(dim);
+  for (std::size_t l = 0; l < nb; ++l) {
+    for (std::size_t i = 0; i < dim; ++i) lane_s[i] = x[i * nb + l];
+    lanes[l]->deriv(0.0, lane_s, lane_f);
+    for (std::size_t i = 0; i < dim; ++i) {
+      EXPECT_EQ(dx[i * nb + l], lane_f[i]) << "lane=" << l << " i=" << i;
+    }
+  }
+}
+
+TEST(BatchedSweep, MatchesScalarSolvesAcrossTheGrid) {
+  std::vector<double> lambdas;
+  for (int j = 0; j < 12; ++j) lambdas.push_back(0.50 + 0.04 * j);
+
+  const auto factory = [](double lam) {
+    return core::make_model("threshold", lam, {{"T", 4}});
+  };
+  const core::BatchSweepResult batch =
+      core::batched_lambda_sweep(factory, lambdas);
+
+  ASSERT_EQ(batch.points.size(), lambdas.size());
+  for (std::size_t k = 0; k < lambdas.size(); ++k) {
+    const auto& pt = batch.points[k];
+    EXPECT_LE(pt.residual, core::BatchSweepOptions{}.tol);
+    const auto model = factory(lambdas[k]);
+    const auto scalar = core::solve_fixed_point(*model);
+    EXPECT_NEAR(pt.sojourn, model->mean_sojourn(scalar.state), 1e-8)
+        << "lambda=" << lambdas[k];
+  }
+}
+
+}  // namespace
