@@ -12,6 +12,7 @@
 #   SKIP_FAULTS=1 scripts/check.sh # skip the fault-injection leg
 #   SKIP_PHASE_TYPE=1 scripts/check.sh  # skip the phase-type service leg
 #   SKIP_LARGE_N=1 scripts/check.sh  # skip the 10^5-processor smoke leg
+#   SKIP_SERVE=1 scripts/check.sh  # skip the sweep-daemon leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,6 +109,51 @@ if [ "${SKIP_LARGE_N:-0}" != "1" ]; then
   rm -rf "$ln_tmp"
 fi
 
+if [ "${SKIP_SERVE:-0}" != "1" ]; then
+  # The always-on sweep daemon (docs/SERVING.md), end-to-end over the
+  # real binaries: a cold sweep, the same grid replayed (must be all
+  # cache hits from the shared cache), a status round-trip, an armed
+  # fault filtered to one request id (its points must fail with the
+  # structured job-fault payload and the client must propagate a
+  # nonzero exit — while the other requests on the same daemon stay
+  # clean), an unknown-model error, then a clean drain-and-exit.
+  echo "== serve: lsm_serve daemon smoke (cache replay, armed fault, shutdown)"
+  srv_tmp="$(mktemp -d)"
+  srv_sock="$srv_tmp/lsm.sock"
+  srv_client=./build/src/serve/lsm_serve_client
+  LSM_FAULT_SEED=20260811 LSM_FAULT_PROFILE="job=1" \
+    LSM_FAULT_ONLY="doomed@0.7" LSM_CACHE_DIR="$srv_tmp/cache" \
+    ./build/src/serve/lsm_serve --socket="$srv_sock" --threads=4 \
+    > "$srv_tmp/daemon.out" &
+  srv_pid=$!
+  "$srv_client" --socket="$srv_sock" sweep --id=cold --model=simple \
+    --lambdas=0.5,0.7,0.9 | tee "$srv_tmp/cold.out"
+  grep -q '"type":"done"' "$srv_tmp/cold.out"
+  grep -q '"failed":0' "$srv_tmp/cold.out"
+  "$srv_client" --socket="$srv_sock" sweep --id=replay --model=simple \
+    --lambdas=0.5,0.7,0.9 | tee "$srv_tmp/replay.out"
+  grep -q '"cache_hits":3' "$srv_tmp/replay.out"
+  "$srv_client" --socket="$srv_sock" status | grep -q '"type":"status"'
+  # The armed fault dooms exactly the λ=0.7 point of id "doomed": the
+  # stream must carry the per-point payload and the client must exit 2
+  # ("done, but some points failed").
+  if "$srv_client" --socket="$srv_sock" sweep --id=doomed --model=threshold \
+      --lambdas=0.5,0.7,0.9 > "$srv_tmp/doomed.out"; then
+    echo "serve client should have propagated the failed point" >&2
+    exit 1
+  fi
+  grep -q '"kind":"job-fault"' "$srv_tmp/doomed.out"
+  if "$srv_client" --socket="$srv_sock" sweep --id=bad --model=nope \
+      --lambdas=0.5 > "$srv_tmp/bad.out"; then
+    echo "serve client should have failed on an unknown model" >&2
+    exit 1
+  fi
+  grep -q '"kind":"invalid-argument"' "$srv_tmp/bad.out"
+  "$srv_client" --socket="$srv_sock" shutdown | grep -q '"type":"shutting_down"'
+  wait "$srv_pid"  # the daemon must drain and exit 0
+  rm -rf "$srv_tmp"
+fi
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "== tsan: work-stealing pool + runner determinism under -fsanitize=thread"
   cmake -B build-tsan -G Ninja -DLSM_SANITIZE=thread \
@@ -116,6 +162,8 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
     --target test_parallel test_exp_runner test_fault_injection
   cmake --build build-tsan -j "$jobs" \
     --target test_phase_type test_sim_shards test_krylov
+  cmake --build build-tsan -j "$jobs" \
+    --target test_serve_concurrency test_serve_lifecycle test_serve_fault
   ./build-tsan/tests/test_parallel
   # The Krylov/batched-RHS suite: single-threaded by design, run under
   # TSan anyway so a future pooled batch sweep cannot silently introduce
@@ -133,6 +181,12 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
     --gtest_filter='Runner.ManifestIsIdenticalAcrossPoolWidths:Runner.ExternalPoolIsUsable:SweepRunner.ManifestIsIdenticalAcrossPoolWidths:SweepRunner.MixedSimAndEstimateEntriesMergeIntoOneReport'
   # Faulted runs add retry/backoff + failure merging on the pool paths.
   ./build-tsan/tests/test_fault_injection --gtest_filter='FaultRunner.*:FaultSweep.*'
+  # The sweep daemon: session threads, dispatcher threads, the solver
+  # pool, and the shared cache all interleave — concurrent clients,
+  # cancel/drain/disconnect races, and faulted streams must be clean.
+  ./build-tsan/tests/test_serve_concurrency
+  ./build-tsan/tests/test_serve_lifecycle
+  ./build-tsan/tests/test_serve_fault
 fi
 
 if [ "${SKIP_UBSAN:-0}" != "1" ]; then
@@ -141,7 +195,8 @@ if [ "${SKIP_UBSAN:-0}" != "1" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-ubsan -j "$jobs" \
     --target test_ode test_implicit test_anderson test_krylov \
-    test_hot_loop_alloc test_model_fixed_point test_phase_type
+    test_hot_loop_alloc test_model_fixed_point test_phase_type \
+    test_serve_protocol
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
   ./build-ubsan/tests/test_ode
   ./build-ubsan/tests/test_implicit
@@ -150,6 +205,9 @@ if [ "${SKIP_UBSAN:-0}" != "1" ]; then
   ./build-ubsan/tests/test_hot_loop_alloc
   ./build-ubsan/tests/test_model_fixed_point
   ./build-ubsan/tests/test_phase_type
+  # The daemon's protocol suite: socket I/O, JSON parsing of hostile
+  # input, and the size_t/double counter plumbing in responses.
+  ./build-ubsan/tests/test_serve_protocol
 fi
 
 if [ "${SKIP_PERF:-0}" != "1" ]; then

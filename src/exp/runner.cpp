@@ -100,8 +100,13 @@ JobResult execute_job(const Job& job, core::FixedPointContinuation* chain,
 
   if (job.estimate) {
     const auto model = core::make_model(job.model, job.lambda, job.params);
-    const auto fp = chain != nullptr ? chain->solve(*model)
-                                     : core::solve_fixed_point(*model);
+    // Per-job budgets (0 = unlimited: identical to the default options).
+    core::FixedPointOptions fp_opts;
+    fp_opts.max_rhs_evals = job.max_rhs_evals;
+    fp_opts.max_wall_seconds = job.max_wall_seconds;
+    const auto fp = chain != nullptr
+                        ? chain->solve(*model, fp_opts)
+                        : core::solve_fixed_point(*model, fp_opts);
     r.has_estimate = true;
     r.est_sojourn = model->mean_sojourn(fp.state);
     r.est_mean_tasks = model->mean_tasks(fp.state);
@@ -165,7 +170,10 @@ RunReport Runner::run(const ExperimentSpec& spec) {
   }
   report.threads = pool->size();
 
-  const ResultCache cache(opts_.cache_dir);
+  const ResultCache local_cache(opts_.cache != nullptr ? ""
+                                                       : opts_.cache_dir);
+  const ResultCache& cache =
+      opts_.cache != nullptr ? *opts_.cache : local_cache;
   report.results =
       par::parallel_map(*pool, report.jobs.size(), [&](std::size_t i) {
         const Job& job = report.jobs[i];

@@ -66,6 +66,12 @@ struct RunnerOptions {
   unsigned threads = 0;
   /// "" disables caching. Defaults to LSM_CACHE_DIR / ".lsm-cache".
   std::string cache_dir = ResultCache::default_dir();
+  /// Shared cache instance to consult instead of constructing one from
+  /// cache_dir — the serve daemon points every request's run at one
+  /// process-wide cache so its hit/miss/quarantine counters aggregate
+  /// across clients. ResultCache::load/store are const and safe to call
+  /// concurrently. Not owned; must outlive the run.
+  const ResultCache* cache = nullptr;
   /// Directory for the manifest + CSV; "" disables artifact emission.
   /// Defaults to LSM_ARTIFACTS / ".lsm-artifacts".
   std::string artifact_dir = default_artifact_dir();

@@ -116,6 +116,14 @@ util::Json Job::canonical() const {
       solver_json["chain"] = std::move(chain);
     }
     j["solver"] = std::move(solver_json);
+    // Unbudgeted jobs serialize exactly as before (format v3), so the
+    // budget axis never invalidates an existing cache.
+    if (max_rhs_evals > 0 || max_wall_seconds > 0.0) {
+      auto budget = util::Json::object();
+      budget["max_rhs_evals"] = max_rhs_evals;
+      budget["max_wall_seconds"] = max_wall_seconds;
+      j["budget"] = std::move(budget);
+    }
   }
   auto out = util::Json::object();
   out["fixed_point"] = outputs.fixed_point;
@@ -190,6 +198,8 @@ std::vector<Job> ExperimentSpec::expand() const {
       job.simulate = outputs.simulate && e.simulate;
       job.estimate = outputs.fixed_point && e.estimate && !e.model.empty();
       job.outputs = outputs;
+      job.max_rhs_evals = max_rhs_evals;
+      job.max_wall_seconds = max_wall_seconds;
       if (job.simulate) job.config.validate();
       jobs.push_back(std::move(job));
     }

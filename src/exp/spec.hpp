@@ -81,6 +81,13 @@ struct Job {
   /// is hashed — two sweeps over different grids never share warm
   /// entries, while re-running or resuming the same sweep always hits.
   std::vector<double> warm_chain;
+  /// Per-job solver budgets (0 = unlimited), threaded into
+  /// core::FixedPointOptions for the estimate side. Budgets change which
+  /// answer (if any) a solve produces, so non-zero budgets join the
+  /// content hash; the zero defaults serialize exactly as before, keeping
+  /// every existing cache entry and BENCH counter valid.
+  std::size_t max_rhs_evals = 0;
+  double max_wall_seconds = 0.0;
 
   /// Canonical JSON of everything that determines this job's results.
   /// Field order is fixed, so equal configurations serialize identically.
@@ -105,6 +112,10 @@ struct ExperimentSpec {
   std::size_t replications = 0;
   std::uint64_t seed = 42;
   Outputs outputs;
+  /// Estimate-side solver budgets applied to every job (0 = unlimited);
+  /// see Job::max_rhs_evals. The serve daemon sets these per request.
+  std::size_t max_rhs_evals = 0;
+  double max_wall_seconds = 0.0;
 
   GridEntry& add(GridEntry entry);
 

@@ -10,6 +10,7 @@
 #include "parallel/parallel_for.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
 
 namespace lsm::exp {
 
@@ -48,13 +49,36 @@ Job estimate_part(const Job& job) {
 /// The simulation-only cache identity of `job`. The sim side never
 /// depends on the solver, so the warm annotations are stripped: the same
 /// replications hash identically whether the sweep runs warm or cold.
+/// Solver budgets are estimate-side knobs and are stripped for the same
+/// reason.
 Job simulate_part(const Job& job) {
   Job s = job;
   s.estimate = false;
   s.solver = "cold";
   s.warm_chain.clear();
   s.outputs.store_state = false;
+  s.max_rhs_evals = 0;
+  s.max_wall_seconds = 0.0;
   return s;
+}
+
+/// True when the run's cancel flag is set.
+bool cancelled(const SweepOptions& opts) {
+  return opts.cancel != nullptr &&
+         opts.cancel->load(std::memory_order_relaxed);
+}
+
+/// A Failed partial for a point skipped by cancellation. Never cached;
+/// the merged report stays well-formed (hits + misses + failed == jobs).
+Partial cancelled_partial(std::size_t index, const Job& job) {
+  Partial p;
+  p.index = index;
+  p.r.label = job.label;
+  p.r.lambda = job.lambda;
+  p.r.status = JobStatus::Failed;
+  p.r.error_kind = util::to_string(util::FailureKind::Cancelled);
+  p.r.error = "cancelled: request cancelled before this point ran";
+  return p;
 }
 
 /// Solves one entry's estimate jobs in λ order through a shared
@@ -79,6 +103,12 @@ std::vector<Partial> run_chain(const std::vector<std::size_t>& indices,
   // produced state.
   std::vector<double> prefix;
   for (const std::size_t index : indices) {
+    if (cancelled(opts)) {
+      Partial p = cancelled_partial(index, jobs[index]);
+      if (opts.on_point) opts.on_point(index, p.r);
+      out.push_back(std::move(p));
+      continue;
+    }
     Job ejob = estimate_part(jobs[index]);
     if (opts.warm) {
       ejob.outputs.store_state = true;
@@ -124,6 +154,7 @@ std::vector<Partial> run_chain(const std::vector<std::size_t>& indices,
     } else if (opts.warm) {
       prefix.push_back(ejob.lambda);
     }
+    if (opts.on_point) opts.on_point(index, p.r);
     out.push_back(std::move(p));
   }
   return out;
@@ -132,6 +163,11 @@ std::vector<Partial> run_chain(const std::vector<std::size_t>& indices,
 /// Runs (or loads) one job's simulation half.
 Partial run_sim(std::size_t index, const std::vector<Job>& jobs,
                 const ResultCache& cache, const SweepOptions& opts) {
+  if (cancelled(opts)) {
+    Partial p = cancelled_partial(index, jobs[index]);
+    if (opts.on_point) opts.on_point(index, p.r);
+    return p;
+  }
   const Job sjob = simulate_part(jobs[index]);
   const auto t0 = std::chrono::steady_clock::now();
   Partial p;
@@ -151,6 +187,7 @@ Partial run_sim(std::size_t index, const std::vector<Job>& jobs,
         return r;
       });
   p.r.wall_seconds = seconds_since(t0);
+  if (opts.on_point) opts.on_point(index, p.r);
   return p;
 }
 
@@ -200,7 +237,10 @@ RunReport SweepRunner::run(const SweepSpec& sweep) {
   }
   report.threads = pool->size();
 
-  const ResultCache cache(opts_.cache_dir);
+  const ResultCache local_cache(opts_.cache != nullptr ? ""
+                                                       : opts_.cache_dir);
+  const ResultCache& cache =
+      opts_.cache != nullptr ? *opts_.cache : local_cache;
 
   // Work units: one per estimate chain (serial within, λ order), one per
   // simulated point. The units only read disjoint report.jobs slots and

@@ -20,6 +20,9 @@
 // keyed as such.
 #pragma once
 
+#include <atomic>
+#include <functional>
+
 #include "exp/runner.hpp"
 #include "exp/spec.hpp"
 
@@ -43,6 +46,10 @@ struct SweepOptions {
   unsigned threads = 0;
   /// "" disables caching. Defaults to LSM_CACHE_DIR / ".lsm-cache".
   std::string cache_dir = ResultCache::default_dir();
+  /// Shared cache instance used instead of cache_dir when non-null (see
+  /// RunnerOptions::cache): one process-wide cache whose counters span
+  /// every request the serve daemon executes. Not owned.
+  const ResultCache* cache = nullptr;
   /// Directory for the manifest + CSV; "" disables artifact emission.
   std::string artifact_dir = RunnerOptions::default_artifact_dir();
   /// Warm continuation along each entry's λ chain. false solves every
@@ -56,6 +63,20 @@ struct SweepOptions {
   /// cold (keyed as such) and warm chaining resumes behind it.
   OnFailure on_failure = RunnerOptions::default_on_failure();
   RetryPolicy retry{};
+  /// Streaming progress: called once per completed work-unit half (an
+  /// estimate chain point, or a simulated point) with the job's index in
+  /// spec order and the partial result — including Failed partials, whose
+  /// error/error_kind fields describe the failure. Invoked from pool
+  /// threads, possibly concurrently for independent units; an estimate
+  /// chain's points always arrive in λ order. The callback must not
+  /// throw; keep it cheap (the chain blocks on it between solves).
+  std::function<void(std::size_t index, const JobResult& partial)> on_point;
+  /// Cooperative cancellation: when non-null and set, every point not yet
+  /// started is skipped and reported as Failed with error_kind
+  /// "cancelled" (the run still returns a complete, well-formed report).
+  /// Checked between points — a cancel lands within one point's solve
+  /// time. Cancelled points are never cached.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Executes a SweepSpec: estimate chains per entry, simulations per

@@ -1,0 +1,181 @@
+#include "serve/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/failure.hpp"
+
+namespace lsm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void io_failure(std::string message) {
+  util::Failure f;
+  f.kind = util::FailureKind::Io;
+  f.message = std::move(message);
+  f.retryable = true;
+  throw util::FailureError(std::move(f));
+}
+
+using TimePoint =
+    std::chrono::time_point<Clock, std::chrono::duration<double>>;
+
+double seconds_until(TimePoint deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& socket_path,
+                       double timeout_seconds) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    io_failure("socket path too long: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) io_failure(std::string("socket: ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return Client(fd);
+    }
+    const int err = errno;
+    ::close(fd);
+    // The daemon may still be starting: ENOENT before bind, ECONNREFUSED
+    // between bind and listen. Anything else is not worth retrying.
+    if ((err != ENOENT && err != ECONNREFUSED) ||
+        Clock::now() >= deadline) {
+      io_failure("connect(" + socket_path + "): " + std::strerror(err));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      pending_(std::move(other.pending_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const util::Json& request) {
+  send_raw(request.dump() + "\n");
+}
+
+void Client::send_raw(const std::string& bytes) {
+  if (fd_ < 0) io_failure("send on a closed client");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_failure(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+util::Json Client::read_line(double timeout_seconds) {
+  if (fd_ < 0) io_failure("read on a closed client");
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return util::Json::parse(line);
+    }
+
+    const double remaining = seconds_until(deadline);
+    if (remaining <= 0.0) {
+      io_failure("timed out waiting for a response line");
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int rc =
+        ::poll(&p, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      io_failure(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) continue;  // deadline re-checked at loop top
+
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_failure(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) io_failure("daemon closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::vector<util::Json> Client::collect(const std::string& id,
+                                        double timeout_seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(timeout_seconds);
+  std::vector<util::Json> lines;
+  // Only "point" lines continue a stream; every other type (done, error,
+  // rejected, cancelled, status, shutting_down) answers its request.
+  const auto is_terminal = [](const util::Json& line) {
+    return line.at("type").as_string() != "point";
+  };
+
+  // Lines of this request already read past by an earlier collect().
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].contains("id") &&
+        pending_[i].at("id").as_string() == id) {
+      lines.push_back(std::move(pending_[i]));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (is_terminal(lines.back())) return lines;
+    } else {
+      ++i;
+    }
+  }
+
+  for (;;) {
+    util::Json line = read_line(std::max(seconds_until(deadline), 0.0));
+    if (!line.contains("id") || line.at("id").as_string() != id) {
+      pending_.push_back(std::move(line));
+      continue;
+    }
+    lines.push_back(std::move(line));
+    if (is_terminal(lines.back())) return lines;
+  }
+}
+
+}  // namespace lsm::serve

@@ -1,0 +1,59 @@
+// Small blocking client for the lsm_serve line protocol, shared by the
+// lsm_serve_client binary, the test suites, and scripts/check.sh. One
+// Client is one connection; every read has a deadline so a wedged (or
+// killed) daemon surfaces as a timeout failure, never a hang.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace lsm::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's socket, retrying (the daemon may still be
+  /// binding) until `timeout_seconds` elapses. Throws util::FailureError
+  /// (Io) when the deadline passes without a connection.
+  static Client connect(const std::string& socket_path,
+                        double timeout_seconds = 5.0);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request object as a single protocol line.
+  void send(const util::Json& request);
+  /// Sends raw bytes verbatim (malformed-input tests). The caller is
+  /// responsible for the trailing newline.
+  void send_raw(const std::string& bytes);
+
+  /// Reads the next response line and parses it. Throws util::FailureError
+  /// (Io) on timeout or when the daemon closed the connection.
+  [[nodiscard]] util::Json read_line(double timeout_seconds = 30.0);
+
+  /// Reads lines until the terminal line of request `id` (type done,
+  /// error, or rejected with a matching id) and returns every line that
+  /// carried that id, terminal line last. Lines of other requests
+  /// multiplexed onto this connection are stashed and returned by their
+  /// own collect() call later. The timeout covers the whole collection.
+  [[nodiscard]] std::vector<util::Json> collect(const std::string& id,
+                                                double timeout_seconds = 60.0);
+
+  /// Hard-closes the connection (disconnect-mid-stream tests).
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+  /// Lines read by collect() that belonged to a different request.
+  std::vector<util::Json> pending_;
+};
+
+}  // namespace lsm::serve

@@ -1,0 +1,74 @@
+// lsm_serve: always-on sweep daemon over a Unix-domain socket.
+//
+//   ./lsm_serve --socket=/tmp/lsm.sock [--threads=N] [--max-inflight=2]
+//               [--max-queued=8] [--cache-dir=DIR] [--retries=N]
+//
+// Speaks the newline-delimited JSON protocol documented in
+// docs/SERVING.md. Runs until a client sends the shutdown verb or the
+// process receives SIGINT/SIGTERM; either way in-flight requests drain
+// before exit. Prints one "listening on <path>" line to stdout once the
+// socket is ready (scripts wait for it), and a final status summary on
+// shutdown.
+#include <csignal>
+#include <iostream>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/failure.hpp"
+
+int main(int argc, char** argv) {
+  const lsm::util::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "usage: lsm_serve --socket=PATH [--threads=N] "
+                 "[--max-inflight=2] [--max-queued=8] [--cache-dir=DIR] "
+                 "[--retries=N]\n";
+    return 0;
+  }
+
+  lsm::serve::ServerOptions opts;
+  opts.socket_path = args.get("socket", std::string("/tmp/lsm-serve.sock"));
+  opts.service.solver_threads =
+      static_cast<unsigned>(std::max(args.get("threads", 0L), 0L));
+  opts.service.max_in_flight =
+      static_cast<std::size_t>(std::max(args.get("max-inflight", 2L), 1L));
+  opts.service.max_queued =
+      static_cast<std::size_t>(std::max(args.get("max-queued", 8L), 0L));
+  opts.service.cache_dir =
+      args.get("cache-dir", lsm::exp::ResultCache::default_dir());
+  opts.service.retry.max_attempts = static_cast<std::size_t>(std::max(
+      args.get("retries",
+               static_cast<long>(opts.service.retry.max_attempts)),
+      1L));
+
+  try {
+    // SIGINT/SIGTERM are blocked before any thread exists (threads
+    // inherit the mask), then handled synchronously by a watcher thread
+    // so shutdown can take mutexes — signal handlers cannot.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    lsm::serve::Server server(std::move(opts));
+    std::thread watcher([&server, &signals] {
+      int sig = 0;
+      sigwait(&signals, &sig);
+      server.request_shutdown();
+    });
+
+    std::cout << "listening on " << server.socket_path() << std::endl;
+    server.wait();
+
+    // If shutdown came from a client verb the watcher is still parked in
+    // sigwait; a self-directed SIGTERM (blocked, so only sigwait sees
+    // it) releases it.
+    pthread_kill(watcher.native_handle(), SIGTERM);
+    watcher.join();
+    std::cout << "lsm_serve: drained, exiting" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "lsm_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,242 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/failure.hpp"
+
+namespace lsm::serve {
+
+namespace {
+
+/// Requests longer than this are answered with an error and the
+/// connection closed — a runaway sender must not buffer unboundedly.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+[[noreturn]] void io_failure(const std::string& what) {
+  util::Failure f;
+  f.kind = util::FailureKind::Io;
+  f.message = what + ": " + std::strerror(errno);
+  throw util::FailureError(std::move(f));
+}
+
+int make_listener(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    util::Failure f;
+    f.kind = util::FailureKind::InvalidArgument;
+    f.message = "socket path must be 1.." +
+                std::to_string(sizeof(addr.sun_path) - 1) +
+                " bytes: '" + path + "'";
+    throw util::FailureError(std::move(f));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) io_failure("socket(" + path + ")");
+  // A stale socket file from a crashed daemon would make bind fail.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    io_failure("bind(" + path + ")");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    io_failure("listen(" + path + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+bool Server::Connection::write_line(const util::Json& line) {
+  if (dead.load(std::memory_order_relaxed)) return false;
+  std::string bytes = line.dump();
+  bytes.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(write_mutex);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a vanished client surfaces as EPIPE, not SIGPIPE.
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      dead.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  service_ = std::make_unique<SweepService>(opts_.service);
+  listen_fd_ = make_listener(opts_.socket_path, opts_.backlog);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() {
+  request_shutdown();
+  wait();
+}
+
+void Server::request_shutdown() {
+  bool expected = false;
+  if (!shutting_down_.compare_exchange_strong(expected, true)) return;
+  // Stop admitting new requests; accept_loop notices via shutting_down_
+  // once its poll wakes. shutdown(2) on the listener wakes a blocked
+  // accept without racing the fd's lifetime (close happens in wait()).
+  service_->begin_drain();
+  ::shutdown(listen_fd_.load(std::memory_order_relaxed), SHUT_RDWR);
+}
+
+void Server::wait() {
+  // Block until someone (a shutdown verb, the daemon's signal watcher,
+  // or our destructor) requests shutdown.
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    // events=0: wake on error/hangup only
+    pollfd p{listen_fd_.load(std::memory_order_relaxed), 0, 0};
+    ::poll(&p, 1, 200);
+  }
+  // First caller runs the teardown; concurrent callers block on the
+  // once_flag until it completes.
+  std::call_once(teardown_once_, [this] {
+    // 1. Finish every admitted request (their response lines still flow).
+    service_->drain();
+    // 2. Tear down the listener. The accept thread may briefly take
+    // mutex_ to register a final connection, so mutex_ must not be held
+    // across this join.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    ::close(listen_fd_.load(std::memory_order_relaxed));
+    listen_fd_.store(-1, std::memory_order_relaxed);
+    // 3. Wake sessions blocked in read; their clients have been answered.
+    std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> sessions;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sessions.swap(sessions_);
+    }
+    for (auto& [thread, conn] : sessions) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+    for (auto& [thread, conn] : sessions) {
+      if (thread.joinable()) thread.join();
+    }
+    // 4. Join the dispatcher + solver threads.
+    service_.reset();
+    ::unlink(opts_.socket_path.c_str());
+  });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_relaxed), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or irrecoverable): stop accepting
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.emplace_back(
+        std::thread([this, conn] { session(conn); }), conn);
+  }
+}
+
+void Server::session(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // client closed (or shutdown woke us): done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;  // blank lines are keep-alive no-ops
+      try {
+        if (!dispatch(conn, parse_request(line))) return;
+      } catch (const util::FailureError& e) {
+        // Malformed request: structured error, connection stays up.
+        conn->write_line(
+            error_response(e.failure().context, e.failure()));
+      }
+    }
+    buffer.erase(0, start);
+
+    if (buffer.size() > kMaxLineBytes) {
+      util::Failure f;
+      f.kind = util::FailureKind::InvalidArgument;
+      f.message = "request line exceeds " +
+                  std::to_string(kMaxLineBytes) + " bytes";
+      conn->write_line(error_response("", f));
+      return;
+    }
+  }
+}
+
+bool Server::dispatch(const std::shared_ptr<Connection>& conn, Request req) {
+  switch (req.verb) {
+    case Verb::Sweep:
+    case Verb::Estimate: {
+      // The emit closure keeps the connection alive for as long as the
+      // request streams, even if this session thread exits first.
+      service_->submit(std::move(req),
+                       [conn](const util::Json& line) {
+                         return conn->write_line(line);
+                       });
+      return true;
+    }
+    case Verb::Status: {
+      util::Json j = service_->status();
+      if (!req.id.empty()) j["id"] = req.id;
+      conn->write_line(j);
+      return true;
+    }
+    case Verb::Cancel: {
+      const bool found = service_->cancel(req.target);
+      auto j = util::Json::object();
+      j["type"] = "cancelled";
+      if (!req.id.empty()) j["id"] = req.id;
+      j["target"] = req.target;
+      j["found"] = found;
+      conn->write_line(j);
+      return true;
+    }
+    case Verb::Shutdown: {
+      auto j = util::Json::object();
+      j["type"] = "shutting_down";
+      if (!req.id.empty()) j["id"] = req.id;
+      conn->write_line(j);
+      // Non-blocking: the drain + teardown runs in wait(); this session
+      // thread must not join itself.
+      request_shutdown();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lsm::serve

@@ -1,0 +1,103 @@
+// Unix-domain socket front end of the lsm_serve daemon.
+//
+// Server binds a SOCK_STREAM socket at a filesystem path, accepts
+// connections on a dedicated thread, and runs one session thread per
+// client. A session reads newline-delimited request lines, answers
+// status/cancel/shutdown synchronously, and hands sweep/estimate
+// requests to the shared SweepService, whose response lines are written
+// back through a per-connection mutex (so a streaming sweep and a
+// concurrent status reply never interleave bytes). A client may pipeline
+// further requests while a sweep streams — every response line carries
+// the request id, so multiplexed streams stay attributable.
+//
+// Shutdown ordering (request_shutdown() or destructor): stop admitting,
+// drain queued + in-flight requests, close the listener, then shut down
+// remaining connections and join every session thread. A client that
+// disconnects mid-stream never wedges a worker: writes to the dead
+// socket fail, which cancels the rest of that request (see
+// SweepService::Emit).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace lsm::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the listening socket. The path is unlinked
+  /// before bind (stale sockets from a crashed daemon) and on shutdown.
+  std::string socket_path;
+  ServiceOptions service{};
+  /// Pending-connection backlog passed to listen(2).
+  int backlog = 16;
+};
+
+class Server {
+ public:
+  /// Binds and starts accepting. Throws util::FailureError (Io) when the
+  /// socket cannot be created, bound, or listened on.
+  explicit Server(ServerOptions opts);
+  /// Equivalent to request_shutdown() + wait().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return opts_.socket_path;
+  }
+  [[nodiscard]] SweepService& service() noexcept { return *service_; }
+
+  /// Begins the drain-then-teardown sequence described above. Idempotent
+  /// and callable from any thread (sessions call it for the shutdown
+  /// verb; the daemon main calls it from its signal watcher).
+  void request_shutdown();
+
+  /// Blocks until the server has fully shut down (listener closed, all
+  /// sessions joined). Returns immediately if already down.
+  void wait();
+
+ private:
+  /// One accepted client connection. Sessions and streaming emits share
+  /// it via shared_ptr: the fd outlives the session thread for exactly
+  /// as long as some in-flight request still holds an emit closure.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    /// Set on write failure or session exit; emits return false after.
+    std::atomic<bool> dead{false};
+
+    ~Connection();
+    /// Writes dump(line) + "\n" atomically w.r.t. other writers. Returns
+    /// false (and marks the connection dead) when the client is gone.
+    bool write_line(const util::Json& line);
+  };
+
+  void accept_loop();
+  void session(std::shared_ptr<Connection> conn);
+  /// Dispatches one parsed request; returns false when the session
+  /// should end (shutdown verb).
+  bool dispatch(const std::shared_ptr<Connection>& conn, Request req);
+
+  ServerOptions opts_;
+  std::unique_ptr<SweepService> service_;
+  // Atomic: a session thread's shutdown verb reads it (to wake accept)
+  // while wait()'s teardown writes it; both fds stay valid until the
+  // teardown's close, which runs after every session thread is joined.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+
+  std::mutex mutex_;  ///< guards sessions_
+  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> sessions_;
+  std::atomic<bool> shutting_down_{false};
+  std::once_flag teardown_once_;
+};
+
+}  // namespace lsm::serve

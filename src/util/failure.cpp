@@ -15,6 +15,7 @@ const char* to_string(FailureKind kind) noexcept {
     case FailureKind::SolverBudget: return "solver-budget";
     case FailureKind::InvalidArgument: return "invalid-argument";
     case FailureKind::JobFault: return "job-fault";
+    case FailureKind::Cancelled: return "cancelled";
     case FailureKind::Runtime: return "runtime";
     case FailureKind::Internal: return "internal";
   }

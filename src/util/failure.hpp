@@ -22,6 +22,7 @@ enum class FailureKind {
   SolverBudget,     ///< eval/wall/horizon budget exhausted before convergence
   InvalidArgument,  ///< bad configuration or user input
   JobFault,         ///< failure raised by (or injected into) job code
+  Cancelled,        ///< work skipped because its request was cancelled
   Runtime,          ///< unstructured util::Error from older code paths
   Internal,         ///< violated invariant / unknown exception type
 };

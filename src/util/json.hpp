@@ -1,12 +1,18 @@
-// Minimal ordered JSON value tree + writer for run manifests and CLI
-// output. Insertion order of object keys is preserved and doubles are
-// printed in shortest round-trip form, so a given tree always serializes
-// to the same bytes — the property the experiment runner's deterministic
-// manifests and cache keys rely on.
+// Minimal ordered JSON value tree + writer + parser for run manifests,
+// CLI output and the serve daemon's request protocol. Insertion order of
+// object keys is preserved and doubles are printed in shortest
+// round-trip form, so a given tree always serializes to the same bytes —
+// the property the experiment runner's deterministic manifests and cache
+// keys rely on. parse() is the strict inverse used by the newline-
+// delimited JSON request protocol: it accepts exactly RFC 8259 documents
+// (no comments, no trailing commas) and reports errors with a byte
+// offset, so a malformed client request becomes a structured error
+// instead of a crash.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -30,8 +36,31 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parses one JSON document (the whole of `text` up to trailing
+  /// whitespace). Throws util::Error with a byte offset on any syntax
+  /// problem, including trailing garbage and nesting deeper than 64
+  /// levels (a line protocol has no business nesting further, and the
+  /// cap keeps hostile input from exhausting the stack).
+  [[nodiscard]] static Json parse(std::string_view text);
+
   [[nodiscard]] Type type() const noexcept { return type_; }
   [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  // Read accessors for parsed documents. Each throws util::Error when
+  // the value holds a different type; as_double additionally accepts
+  // Int (JSON does not distinguish 3 from 3.0) and as_int accepts an
+  // integral-valued Double for the same reason.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Array element access; throws util::Error when out of range or not
+  /// an array.
+  [[nodiscard]] const Json& item(std::size_t index) const;
+  /// Object members in insertion order (empty for non-objects), for
+  /// callers that need to iterate unknown keys.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
 
   /// Object access; inserts a null member on first use (object only).
   Json& operator[](const std::string& key);

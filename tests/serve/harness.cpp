@@ -1,0 +1,114 @@
+#include "serve/harness.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <utility>
+
+namespace lsm::test {
+
+namespace fs = std::filesystem;
+
+std::string unique_socket_path() {
+  static std::atomic<unsigned> counter{0};
+  return "/tmp/lsm-srv-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+TempDir::TempDir(const std::string& tag) {
+  path = fs::temp_directory_path() /
+         ("lsm-serve-" + tag + "-" + std::to_string(::getpid()));
+  fs::remove_all(path);
+}
+
+TempDir::~TempDir() { fs::remove_all(path); }
+
+serve::ServiceOptions test_service_options() {
+  serve::ServiceOptions opts;
+  opts.solver_threads = 4;
+  return opts;
+}
+
+ServerFixture::ServerFixture(serve::ServiceOptions service)
+    : cache_("cache") {
+  cache_dir_ = cache_.path.string();
+  serve::ServerOptions opts;
+  opts.socket_path = unique_socket_path();
+  opts.service = std::move(service);
+  opts.service.cache_dir = cache_dir_;
+  server_ = std::make_unique<serve::Server>(std::move(opts));
+}
+
+ServerFixture::~ServerFixture() {
+  server_->request_shutdown();
+  server_->wait();
+}
+
+serve::Client ServerFixture::connect() const {
+  return serve::Client::connect(server_->socket_path());
+}
+
+util::Json sweep_request(const std::string& id,
+                         const std::vector<double>& lambdas) {
+  auto req = util::Json::object();
+  req["verb"] = lambdas.size() == 1 ? "estimate" : "sweep";
+  req["id"] = id;
+  req["model"] = "simple";
+  auto grid = util::Json::array();
+  for (const double l : lambdas) grid.push_back(l);
+  req["lambdas"] = std::move(grid);
+  return req;
+}
+
+std::vector<double> lambda_grid(std::size_t n) {
+  std::vector<double> grid;
+  grid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid.push_back(0.95 * static_cast<double>(i + 1) /
+                   static_cast<double>(n));
+  }
+  return grid;
+}
+
+std::string dump_without(const util::Json& line,
+                         const std::vector<std::string>& drop) {
+  auto kept = util::Json::object();
+  for (const auto& [key, value] : line.members()) {
+    bool dropped = false;
+    for (const auto& d : drop) dropped = dropped || d == key;
+    if (!dropped) kept[key] = value;
+  }
+  return kept.dump();
+}
+
+void expect_ordered_stream(const std::vector<util::Json>& lines,
+                           const std::string& id,
+                           const std::vector<double>& lambdas) {
+  ASSERT_EQ(lines.size(), lambdas.size() + 1)
+      << "expected one point line per lambda plus a terminal done line";
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const util::Json& line = lines[i];
+    EXPECT_EQ(line.at("type").as_string(), "point");
+    EXPECT_EQ(line.at("id").as_string(), id);
+    EXPECT_EQ(line.at("lambda").as_double(), lambdas[i])
+        << "point lines must stream in grid order";
+    if (line.at("status").as_string() == "ok") {
+      ++ok;
+    } else {
+      ++failed;
+      EXPECT_TRUE(line.contains("error"));
+    }
+  }
+  const util::Json& done = lines.back();
+  ASSERT_EQ(done.at("type").as_string(), "done");
+  EXPECT_EQ(done.at("id").as_string(), id);
+  EXPECT_EQ(static_cast<std::size_t>(done.at("points").as_int()),
+            lambdas.size());
+  EXPECT_EQ(static_cast<std::size_t>(done.at("ok").as_int()), ok);
+  EXPECT_EQ(static_cast<std::size_t>(done.at("failed").as_int()), failed);
+  EXPECT_LE(done.at("cache_hits").as_int(), done.at("ok").as_int());
+}
+
+}  // namespace lsm::test

@@ -1,0 +1,80 @@
+// In-process test harness for the lsm_serve daemon: a Server on a
+// unique throwaway socket with its own temp cache directory, plus small
+// request-building and response-checking helpers shared by the serve
+// test suites. Everything runs in one process so tests can reach the
+// ServiceOptions hooks (deterministic admission / cancellation gates)
+// and run TSan-clean without fork/exec.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace lsm::test {
+
+/// A socket path unique to this process AND call, short enough for
+/// sockaddr_un (so it lives under /tmp, not the build tree).
+[[nodiscard]] std::string unique_socket_path();
+
+/// Fresh temp directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& tag);
+  ~TempDir();
+  std::filesystem::path path;
+};
+
+/// Service options sized for tests: a small private solver pool and the
+/// default admission bounds.
+[[nodiscard]] serve::ServiceOptions test_service_options();
+
+/// One in-process daemon with its own socket and cache directory. The
+/// destructor shuts the server down (draining in-flight requests), so a
+/// test that wedged a worker fails by timing out loudly.
+class ServerFixture {
+ public:
+  explicit ServerFixture(
+      serve::ServiceOptions service = test_service_options());
+  ~ServerFixture();
+
+  [[nodiscard]] serve::Client connect() const;
+  [[nodiscard]] serve::Server& server() { return *server_; }
+  [[nodiscard]] const std::string& socket_path() const {
+    return server_->socket_path();
+  }
+  [[nodiscard]] const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  TempDir cache_;
+  std::string cache_dir_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+/// A sweep request over the "simple" model (the paper's Section 2.2
+/// work-stealing variant — pure estimate, so it solves in microseconds).
+[[nodiscard]] util::Json sweep_request(const std::string& id,
+                                       const std::vector<double>& lambdas);
+
+/// An ascending n-point λ grid in (0, 0.95].
+[[nodiscard]] std::vector<double> lambda_grid(std::size_t n);
+
+/// `line` re-serialized with the top-level members named in `drop`
+/// removed — for byte-comparing response lines across clients that
+/// legitimately differ in id or cache provenance.
+[[nodiscard]] std::string dump_without(const util::Json& line,
+                                       const std::vector<std::string>& drop);
+
+/// Asserts `lines` is a well-formed sweep response for `id`: point lines
+/// in strict grid λ order, exactly one terminal done line whose counts
+/// add up (points == ok + failed == point-line count, cache_hits <= ok).
+void expect_ordered_stream(const std::vector<util::Json>& lines,
+                           const std::string& id,
+                           const std::vector<double>& lambdas);
+
+}  // namespace lsm::test

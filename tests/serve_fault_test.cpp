@@ -1,0 +1,187 @@
+// Fault-injection + admission-control suite for the lsm_serve daemon.
+// An armed FaultInjector (same machinery LSM_FAULT_SEED arms from the
+// environment) makes chosen requests fail: the failure must surface as a
+// per-point error{kind,message,attempts} payload on that request's
+// stream while other requests — sharing the daemon, pool, and cache —
+// complete unaffected. Admission control pins explicit "rejected"
+// responses for both the bounds and the draining path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/harness.hpp"
+#include "util/fault_injection.hpp"
+
+namespace {
+
+using namespace lsm;
+using test::ServerFixture;
+
+/// Disarms the process-wide injector on scope exit, so a failing
+/// assertion can never leak an armed injector into later tests.
+struct InjectorGuard {
+  InjectorGuard() = default;
+  ~InjectorGuard() { util::FaultInjector::instance().disarm(); }
+};
+
+util::FaultProfile job_faults(double p, std::string only) {
+  util::FaultProfile prof;
+  prof.probability[static_cast<std::size_t>(util::FaultSite::JobFault)] = p;
+  prof.only = std::move(only);
+  return prof;
+}
+
+TEST(ServeFaults, InjectedFaultSurfacesAsPerPointErrorPayload) {
+  InjectorGuard guard;
+  // The fault context is "<request id>@<lambda>/e", so this filter dooms
+  // exactly the λ=0.7 point of the request with id "faulty" — on every
+  // retry attempt — and nothing else in the process.
+  util::FaultInjector::instance().configure(1234,
+                                            job_faults(1.0, "faulty@0.7"));
+
+  ServerFixture fx;
+  const std::vector<double> grid = {0.5, 0.7, 0.9};
+
+  // The victim runs first (a cache hit would bypass the job entirely, so
+  // the doomed point must be solved, not replayed).
+  auto victim = fx.connect();
+  victim.send(test::sweep_request("faulty", grid));
+  const auto faulty = victim.collect("faulty");
+  test::expect_ordered_stream(faulty, "faulty", grid);
+  const auto& done = faulty.back();
+  EXPECT_EQ(done.at("failed").as_int(), 1);
+  EXPECT_EQ(done.at("ok").as_int(), 2);
+
+  EXPECT_EQ(faulty[0].at("status").as_string(), "ok");
+  EXPECT_EQ(faulty[2].at("status").as_string(), "ok");
+  const auto& failed = faulty[1];
+  ASSERT_EQ(failed.at("status").as_string(), "failed");
+  EXPECT_EQ(failed.at("error").at("kind").as_string(), "job-fault");
+  EXPECT_NE(failed.at("error").at("message").as_string().find("injected"),
+            std::string::npos);
+  // JobFault is retryable: the runner must have burned the full retry
+  // budget before reporting.
+  EXPECT_EQ(failed.at("error").at("attempts").as_int(), 3);
+
+  // A bystander sharing the daemon, pool, and cache — with the injector
+  // still armed — must be untouched: its context is "clean@…", so the
+  // filter never fires, and the victim's failure was never cached.
+  auto bystander = fx.connect();
+  bystander.send(test::sweep_request("clean", grid));
+  const auto clean = bystander.collect("clean");
+  test::expect_ordered_stream(clean, "clean", grid);
+  EXPECT_EQ(clean.back().at("failed").as_int(), 0)
+      << "a fault filtered to another request must not leak";
+  // Exactly the λ=0.5 point is shared: the victim's failure reset its
+  // warm chain, so its λ=0.9 was keyed cold while the bystander's runs
+  // warm behind {0.5, 0.7} — a different cache identity by design.
+  EXPECT_EQ(clean.back().at("cache_hits").as_int(), 1);
+}
+
+TEST(ServeFaults, FailedPointsAreNeverCached) {
+  InjectorGuard guard;
+  auto& injector = util::FaultInjector::instance();
+  injector.configure(99, job_faults(1.0, "once@0.8"));
+
+  ServerFixture fx;
+  auto client = fx.connect();
+  client.send(test::sweep_request("once", {0.8}));
+  auto lines = client.collect("once");
+  EXPECT_EQ(lines.back().at("failed").as_int(), 1);
+
+  // Disarm and re-ask: the point must be recomputed (a miss), proving
+  // the failure was not stored under the request's cache key.
+  injector.disarm();
+  client.send(test::sweep_request("once", {0.8}));
+  lines = client.collect("once");
+  EXPECT_EQ(lines.back().at("ok").as_int(), 1);
+  EXPECT_EQ(lines.back().at("cache_hits").as_int(), 0);
+  EXPECT_FALSE(lines.front().at("cache_hit").as_bool());
+}
+
+// --- admission control --------------------------------------------------
+
+/// Gate used from ServiceOptions::on_start: requests whose id starts
+/// with "hold" block until release() — a deterministic way to keep an
+/// admission slot occupied.
+struct StartGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<int> held{0};
+
+  void maybe_block(const std::string& id) {
+    if (id.rfind("hold", 0) != 0) return;
+    std::unique_lock<std::mutex> lock(mutex);
+    held.fetch_add(1);
+    cv.wait(lock, [this] { return released; });
+  }
+  void await_held(int n) {
+    while (held.load() < n) std::this_thread::yield();
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+TEST(ServeFaults, AdmissionBoundsRejectExplicitly) {
+  auto gate = std::make_shared<StartGate>();
+  serve::ServiceOptions service = test::test_service_options();
+  service.max_in_flight = 1;
+  service.max_queued = 1;
+  service.on_start = [gate](const serve::Request& req) {
+    gate->maybe_block(req.id);
+  };
+  ServerFixture fx(service);
+  auto client = fx.connect();
+
+  // hold1 occupies the single in-flight slot; q1 fills the queue.
+  client.send(test::sweep_request("hold1", {0.5}));
+  gate->await_held(1);
+  client.send(test::sweep_request("q1", {0.6}));
+
+  // Both bounds full: the next request must be refused, with the gauges
+  // that justify the refusal.
+  client.send(test::sweep_request("over", {0.7}));
+  const auto rejected = client.collect("over");
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected.back().at("type").as_string(), "rejected");
+  EXPECT_EQ(rejected.back().at("reason").as_string(),
+            "admission limit reached");
+  EXPECT_EQ(rejected.back().at("in_flight").as_int(), 1);
+  EXPECT_EQ(rejected.back().at("queued").as_int(), 1);
+
+  // A rejection must not poison the admitted requests.
+  gate->release();
+  test::expect_ordered_stream(client.collect("hold1"), "hold1", {0.5});
+  test::expect_ordered_stream(client.collect("q1"), "q1", {0.6});
+
+  auto status_req = util::Json::object();
+  status_req["verb"] = "status";
+  status_req["id"] = "s";
+  client.send(status_req);
+  const auto status = client.read_line();
+  EXPECT_EQ(status.at("totals").at("rejected").as_int(), 1);
+  EXPECT_EQ(status.at("totals").at("completed").as_int(), 2);
+}
+
+TEST(ServeFaults, DrainingServiceRejectsNewRequests) {
+  ServerFixture fx;
+  auto client = fx.connect();
+  fx.server().service().begin_drain();
+  client.send(test::sweep_request("late", {0.5}));
+  const auto lines = client.collect("late");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines.back().at("type").as_string(), "rejected");
+  EXPECT_EQ(lines.back().at("reason").as_string(), "shutting down");
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Lifecycle suite for the lsm_serve daemon: shutdown drains in-flight
+// streams to completion, cancel stops a stream promptly (and frees its
+// admission slot), and a client that disconnects mid-stream never wedges
+// a dispatcher. Streams are frozen at deterministic spots via the
+// ServiceOptions::on_point_hook test gate — no timing assumptions.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/harness.hpp"
+
+namespace {
+
+using namespace lsm;
+using test::ServerFixture;
+
+/// Pauses the stream of one request after its first point line has been
+/// emitted, until the test releases it.
+struct PointGate {
+  std::string id;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool blocked = false;
+  bool released = false;
+
+  explicit PointGate(std::string request_id) : id(std::move(request_id)) {}
+
+  void hook(const serve::Request& req, std::size_t index) {
+    if (req.id != id || index != 0) return;
+    std::unique_lock<std::mutex> lock(mutex);
+    blocked = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return released; });
+  }
+  /// Waits until the request is parked at the gate (first point out).
+  void await_blocked() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return blocked; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+TEST(ServeLifecycle, ShutdownDrainsInFlightStreams) {
+  auto gate = std::make_shared<PointGate>("slow");
+  serve::ServiceOptions service = test::test_service_options();
+  service.on_point_hook = [gate](const serve::Request& req,
+                                 std::size_t index) {
+    gate->hook(req, index);
+  };
+  ServerFixture fx(service);
+  const std::vector<double> grid = {0.3, 0.5, 0.7, 0.9};
+
+  auto streaming = fx.connect();
+  streaming.send(test::sweep_request("slow", grid));
+  gate->await_blocked();
+
+  // Shutdown lands while "slow" is mid-stream: it must be acknowledged,
+  // and the stream must still run to a complete done line.
+  auto admin = fx.connect();
+  auto req = util::Json::object();
+  req["verb"] = "shutdown";
+  req["id"] = "bye";
+  admin.send(req);
+  EXPECT_EQ(admin.read_line().at("type").as_string(), "shutting_down");
+
+  gate->release();
+  const auto lines = streaming.collect("slow");
+  test::expect_ordered_stream(lines, "slow", grid);
+  EXPECT_EQ(lines.back().at("ok").as_int(), 4);
+  EXPECT_FALSE(lines.back().at("cancelled").as_bool());
+
+  fx.server().wait();  // completes: nothing left in flight
+}
+
+TEST(ServeLifecycle, CancelStopsStreamPromptlyAndFreesSlot) {
+  auto gate = std::make_shared<PointGate>("cancelme");
+  serve::ServiceOptions service = test::test_service_options();
+  service.max_in_flight = 1;  // the cancelled request holds the only slot
+  service.on_point_hook = [gate](const serve::Request& req,
+                                 std::size_t index) {
+    gate->hook(req, index);
+  };
+  ServerFixture fx(service);
+  const std::vector<double> grid = {0.3, 0.5, 0.7, 0.9};
+
+  auto client = fx.connect();
+  client.send(test::sweep_request("cancelme", grid));
+  gate->await_blocked();
+
+  // Cancel lands while the stream is frozen after its first point: every
+  // later point must be skipped, not solved.
+  auto cancel = util::Json::object();
+  cancel["verb"] = "cancel";
+  cancel["id"] = "c";
+  cancel["target"] = "cancelme";
+  client.send(cancel);
+  const auto ack = client.collect("c");
+  ASSERT_EQ(ack.size(), 1u);
+  EXPECT_EQ(ack.back().at("type").as_string(), "cancelled");
+  EXPECT_TRUE(ack.back().at("found").as_bool());
+
+  gate->release();
+  const auto lines = client.collect("cancelme");
+  ASSERT_EQ(lines.size(), 2u) << "one streamed point, then the summary";
+  EXPECT_EQ(lines.front().at("type").as_string(), "point");
+  EXPECT_EQ(lines.front().at("lambda").as_double(), grid.front());
+  const auto& done = lines.back();
+  EXPECT_EQ(done.at("type").as_string(), "done");
+  EXPECT_TRUE(done.at("cancelled").as_bool());
+  EXPECT_EQ(done.at("points").as_int(), 1);
+
+  // The admission slot must be free again: a follow-up request on the
+  // single-slot service completes normally.
+  client.send(test::sweep_request("after", {0.5}));
+  test::expect_ordered_stream(client.collect("after"), "after", {0.5});
+}
+
+TEST(ServeLifecycle, CancellingQueuedRequestSkipsItEntirely) {
+  auto gate = std::make_shared<PointGate>("holder");
+  serve::ServiceOptions service = test::test_service_options();
+  service.max_in_flight = 1;
+  service.on_point_hook = [gate](const serve::Request& req,
+                                 std::size_t index) {
+    gate->hook(req, index);
+  };
+  ServerFixture fx(service);
+
+  auto client = fx.connect();
+  client.send(test::sweep_request("holder", {0.5}));
+  gate->await_blocked();
+  client.send(test::sweep_request("queued", {0.3, 0.6}));
+
+  auto cancel = util::Json::object();
+  cancel["verb"] = "cancel";
+  cancel["id"] = "c";
+  cancel["target"] = "queued";
+  client.send(cancel);
+  EXPECT_TRUE(client.collect("c").back().at("found").as_bool());
+
+  gate->release();
+  test::expect_ordered_stream(client.collect("holder"), "holder", {0.5});
+  const auto lines = client.collect("queued");
+  ASSERT_EQ(lines.size(), 1u) << "a request cancelled while queued must "
+                                 "stream no points at all";
+  EXPECT_TRUE(lines.back().at("cancelled").as_bool());
+  EXPECT_EQ(lines.back().at("points").as_int(), 0);
+}
+
+TEST(ServeLifecycle, ClientDisconnectMidStreamDoesNotWedgeWorker) {
+  auto gate = std::make_shared<PointGate>("ghost");
+  serve::ServiceOptions service = test::test_service_options();
+  service.max_in_flight = 1;
+  service.on_point_hook = [gate](const serve::Request& req,
+                                 std::size_t index) {
+    gate->hook(req, index);
+  };
+  ServerFixture fx(service);
+  const auto grid = test::lambda_grid(16);
+
+  {
+    auto client = fx.connect();
+    client.send(test::sweep_request("ghost", grid));
+    gate->await_blocked();
+    const auto first = client.read_line();
+    EXPECT_EQ(first.at("type").as_string(), "point");
+    client.close();  // vanish with 15 points still to stream
+  }
+  gate->release();
+
+  // The dispatcher must notice the dead connection (failed write →
+  // cancel) and go idle instead of solving/streaming into the void.
+  fx.server().service().drain();
+
+  auto admin = fx.connect();
+  auto req = util::Json::object();
+  req["verb"] = "status";
+  req["id"] = "s";
+  admin.send(req);
+  const auto status = admin.read_line();
+  EXPECT_EQ(status.at("admission").at("in_flight").as_int(), 0);
+  EXPECT_EQ(status.at("totals").at("completed").as_int(), 1);
+  EXPECT_LT(status.at("totals").at("points").as_int(), 16)
+      << "the sweep must have been cut short, not run to completion";
+
+  // The freed slot still works.
+  admin.send(test::sweep_request("next", {0.5}));
+  test::expect_ordered_stream(admin.collect("next"), "next", {0.5});
+}
+
+}  // namespace

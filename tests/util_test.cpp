@@ -359,4 +359,76 @@ TEST(Json, IndentedDump) {
   EXPECT_EQ(Json::object().dump(2), "{}");
 }
 
+// --- Json::parse -----------------------------------------------------------
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const Json doc = Json::parse(
+      R"(  {"a": 1, "b": -2.5, "c": [true, false, null], "s": "hi"} )");
+  EXPECT_EQ(doc.at("a").as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc.at("b").as_double(), -2.5);
+  EXPECT_DOUBLE_EQ(doc.at("a").as_double(), 1.0);  // Int widens to double
+  ASSERT_EQ(doc.at("c").size(), 3u);
+  EXPECT_TRUE(doc.at("c").item(0).as_bool());
+  EXPECT_FALSE(doc.at("c").item(1).as_bool());
+  EXPECT_TRUE(doc.at("c").item(2).is_null());
+  EXPECT_EQ(doc.at("s").as_string(), "hi");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  auto doc = Json::object();
+  doc["grid"] = Json::array();
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 12345.6789}) {
+    doc["grid"].push_back(v);
+  }
+  doc["name"] = "sweep \"x\"\n\ttab";
+  doc["n"] = std::int64_t{-9007199254740993};
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.dump(), doc.dump());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.at("grid").item(i).as_double(),
+              doc.at("grid").item(i).as_double());
+  }
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Json doc = Json::parse(R"({"s": "a\"b\\c\/\n\t\u0041\u00e9"})");
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\\c/\n\tA\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, DuplicateKeysLastWriteWins) {
+  EXPECT_EQ(Json::parse(R"({"k": 1, "k": 2})").at("k").as_int(), 2);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01x", "1 2",
+        "\"unterminated", "{\"a\":1,}", "[1 2]", "nan", "+1", "1.",
+        "1e", "\"bad \\q escape\"", "\"\\ud83d\"", "{1: 2}"}) {
+    EXPECT_THROW((void)Json::parse(bad), Error) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)Json::parse(deep), Error);
+  std::string ok(50, '[');
+  ok += std::string(50, ']');
+  EXPECT_NO_THROW((void)Json::parse(ok));
+}
+
+TEST(JsonParse, AccessorsRejectWrongTypes) {
+  const Json doc = Json::parse(R"({"n": 1.5, "s": "x", "a": [1]})");
+  EXPECT_THROW((void)doc.at("s").as_double(), Error);
+  EXPECT_THROW((void)doc.at("n").as_int(), Error);  // non-integral double
+  EXPECT_THROW((void)doc.at("n").as_string(), Error);
+  EXPECT_THROW((void)doc.at("a").item(1), Error);
+  EXPECT_THROW((void)doc.at("missing"), Error);
+  EXPECT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.at("a").members().size(), 0u);
+}
+
 }  // namespace
